@@ -1,0 +1,252 @@
+package repro_test
+
+// One benchmark per table/figure of the paper's evaluation (see
+// DESIGN.md §5 for the experiment index), plus the A1 ablations of the
+// design choices. Expensive sub-benchmarks compute their workload and
+// reference δ once, outside the timed loop.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/waveform"
+)
+
+// --- E1: Figure 1 / Example 2 -------------------------------------------
+
+func BenchmarkFig1Example2Refute(b *testing.B) {
+	c := gen.Hrapcenko(10)
+	s, _ := c.NetByName("s")
+	v := core.NewVerifier(c, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.Check(s, 61).Final != core.NoViolation {
+			b.Fatal("δ=61 must be refuted")
+		}
+	}
+}
+
+func BenchmarkFig1Example2Witness(b *testing.B) {
+	c := gen.Hrapcenko(10)
+	s, _ := c.NetByName("s")
+	v := core.NewVerifier(c, core.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.Check(s, 60).Final != core.ViolationFound {
+			b.Fatal("δ=60 must be witnessed")
+		}
+	}
+}
+
+// --- E2: Figures 2–3 carry-skip dominators ------------------------------
+
+func BenchmarkFig23CarrySkipDominators(b *testing.B) {
+	c := gen.CarrySkipAdder(8, 4, 10)
+	cout, _ := c.NetByName("cout")
+	v := core.NewVerifier(c, core.Default())
+	res, err := v.ExactFloatingDelay(cout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.Check(cout, res.Delay+1).Final != core.NoViolation {
+			b.Fatal("δ+1 must be refuted")
+		}
+	}
+}
+
+// --- E4: Section-6 16-bit carry-skip adder ------------------------------
+
+func BenchmarkCarrySkip16Exact(b *testing.B) {
+	c := gen.CarrySkipAdder(16, 4, 10)
+	cout, _ := c.NetByName("cout")
+	v := core.NewVerifier(c, core.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := v.ExactFloatingDelay(cout)
+		if err != nil || !res.Exact {
+			b.Fatalf("exact delay failed: %v %+v", err, res)
+		}
+	}
+}
+
+// --- E5: c1908 dominator anecdote ----------------------------------------
+
+func BenchmarkC1908DominatorAnecdote(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		an := harness.Anecdote()
+		if an.WithDomVerdict != core.NoViolation {
+			b.Fatal("dominators must prove the bound")
+		}
+	}
+}
+
+// --- E3: Table 1 ----------------------------------------------------------
+//
+// One sub-benchmark per suite circuit; each iteration regenerates the
+// circuit's two Table-1 rows. The exact δ is discovered inside
+// CircuitRows (that cost is part of what the table measures). The large
+// c6288 stand-in runs with a reduced backtrack budget so a bench sweep
+// stays tractable; cmd/table1 runs it in full.
+
+var suiteOnce sync.Once
+var suiteEntries []gen.SuiteEntry
+
+func suite() []gen.SuiteEntry {
+	suiteOnce.Do(func() { suiteEntries = gen.SubstituteSuite() })
+	return suiteEntries
+}
+
+func benchTable1(b *testing.B, name string, budget int) {
+	var entry gen.SuiteEntry
+	for _, e := range suite() {
+		if e.Name == name {
+			entry = e
+			break
+		}
+	}
+	if entry.Circuit == nil {
+		b.Fatalf("no suite entry %s", name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := harness.CircuitRows(entry.Name, entry.Circuit, budget)
+		if len(rows) != 2 {
+			b.Fatal("expected two rows")
+		}
+	}
+}
+
+func BenchmarkTable1C17(b *testing.B)   { benchTable1(b, "c17", 200000) }
+func BenchmarkTable1C432(b *testing.B)  { benchTable1(b, "c432", 200000) }
+func BenchmarkTable1C499(b *testing.B)  { benchTable1(b, "c499", 200000) }
+func BenchmarkTable1C880(b *testing.B)  { benchTable1(b, "c880", 200000) }
+func BenchmarkTable1C1355(b *testing.B) { benchTable1(b, "c1355", 200000) }
+func BenchmarkTable1C1908(b *testing.B) { benchTable1(b, "c1908", 200000) }
+func BenchmarkTable1C2670(b *testing.B) { benchTable1(b, "c2670", 200000) }
+func BenchmarkTable1C3540(b *testing.B) { benchTable1(b, "c3540", 200000) }
+func BenchmarkTable1C5315(b *testing.B) { benchTable1(b, "c5315", 200000) }
+func BenchmarkTable1C6288(b *testing.B) { benchTable1(b, "c6288", 500) }
+func BenchmarkTable1C7552(b *testing.B) { benchTable1(b, "c7552", 200000) }
+
+// --- A1: ablations of the design choices ---------------------------------
+
+// ablationDelta computes the exact floating delay of the sink once so
+// the ablated configurations all answer the same (δ+1) question.
+func ablationDelta(b *testing.B, c *circuit.Circuit, sinkName string) (circuit.NetID, waveform.Time) {
+	sink, ok := c.NetByName(sinkName)
+	if !ok {
+		b.Fatalf("no net %s", sinkName)
+	}
+	v := core.NewVerifier(c, core.Default())
+	res, err := v.ExactFloatingDelay(sink)
+	if err != nil || !res.Exact {
+		b.Fatalf("reference delay failed: %v %+v", err, res)
+	}
+	return sink, res.Delay + 1
+}
+
+func benchAblation(b *testing.B, opts core.Options) {
+	c := gen.CarrySkipAdder(12, 4, 10)
+	sink, delta := ablationDelta(b, c, "cout")
+	opts.MaxBacktracks = 1 << 20
+	v := core.NewVerifier(c, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := v.Check(sink, delta)
+		if rep.Final != core.NoViolation {
+			b.Fatalf("ablated config must still refute exactly, got %s", rep.Final)
+		}
+		bt := rep.Backtracks
+		if bt < 0 {
+			bt = 0 // refuted before the search started
+		}
+		b.ReportMetric(float64(bt), "backtracks/op")
+	}
+}
+
+func BenchmarkAblationFull(b *testing.B) { benchAblation(b, core.Default()) }
+
+func BenchmarkAblationNoDominators(b *testing.B) {
+	o := core.Default()
+	o.UseDominators = false
+	benchAblation(b, o)
+}
+
+func BenchmarkAblationNoLearning(b *testing.B) {
+	o := core.Default()
+	o.UseLearning = false
+	benchAblation(b, o)
+}
+
+func BenchmarkAblationNoStemCorrelation(b *testing.B) {
+	o := core.Default()
+	o.UseStemCorrelation = false
+	benchAblation(b, o)
+}
+
+func BenchmarkAblationPlainSearch(b *testing.B) {
+	benchAblation(b, core.Options{}) // case analysis over bare narrowing
+}
+
+func BenchmarkAblationStaticDominatorsOnly(b *testing.B) {
+	// Lemma-3 static dominators instead of the dynamic Theorem-3 ones:
+	// cheaper to compute, weaker implications.
+	o := core.Default()
+	o.UseDominators = false
+	o.UseStaticDominators = true
+	benchAblation(b, o)
+}
+
+// --- substrate micro-benchmarks ------------------------------------------
+
+func BenchmarkFixpointCarrySkip16(b *testing.B) {
+	c := gen.CarrySkipAdder(16, 4, 10)
+	cout, _ := c.NetByName("cout")
+	v := core.NewVerifier(c, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := v.SystemAfterFixpoint(cout, 200)
+		if sys.Inconsistent() {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}
+
+// Scheduler-discipline comparison: FIFO (the paper's event queue) vs
+// alternating topological sweeps, on the NOR-mapped multiplier.
+func benchScheduler(b *testing.B, mode constraint.ScheduleMode) {
+	c, err := circuit.MapToNOR(gen.ArrayMultiplier(6, 1), 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	po := c.PrimaryOutputs()[len(c.PrimaryOutputs())-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := constraint.New(c)
+		sys.SetScheduleMode(mode)
+		sys.Narrow(po, waveform.CheckOutput(300))
+		sys.ScheduleAll()
+		sys.Fixpoint()
+		b.ReportMetric(float64(sys.Propagations), "propagations/op")
+	}
+}
+
+func BenchmarkSchedulerFIFO(b *testing.B)  { benchScheduler(b, constraint.FIFO) }
+func BenchmarkSchedulerSweep(b *testing.B) { benchScheduler(b, constraint.Sweep) }
+
+func BenchmarkNORMapping(b *testing.B) {
+	c := gen.ArrayMultiplier(8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := circuit.MapToNOR(c, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command genckt emits the library's generator circuits as .bench
+// netlists (with !delay back-annotation) for use with ltta or external
+// tools.
+//
+// Usage:
+//
+//	genckt -kind hrapcenko|falsepath|rca|csa|mult|c17|parity|cmp|random|suite
+//	       [-n bits] [-block k] [-d delay] [-seed s] [-gates g] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/verilog"
+)
+
+func main() {
+	kind := flag.String("kind", "hrapcenko", "circuit family to generate")
+	format := flag.String("format", "bench", "output format: bench or verilog")
+	n := flag.Int("n", 8, "bit width / size parameter")
+	block := flag.Int("block", 4, "carry-skip block size")
+	d := flag.Int64("d", 10, "gate delay")
+	seed := flag.Int64("seed", 1, "random seed")
+	gates := flag.Int("gates", 100, "random circuit gate count")
+	out := flag.String("o", "", "output file (default stdout; for -kind suite, a directory)")
+	flag.Parse()
+
+	if *kind == "suite" {
+		dir := *out
+		if dir == "" {
+			dir = "."
+		}
+		for _, e := range gen.SubstituteSuite() {
+			path := filepath.Join(dir, e.Name+".bench")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := circuit.WriteBench(f, e.Circuit); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d gates)\n", path, e.Circuit.NumGates())
+		}
+		return
+	}
+
+	var c *circuit.Circuit
+	switch *kind {
+	case "hrapcenko":
+		c = gen.Hrapcenko(*d)
+	case "falsepath":
+		c = gen.FalsePathChain(*n, *d)
+	case "rca":
+		c = gen.RippleCarryAdder(*n, *d)
+	case "csa":
+		c = gen.CarrySkipAdder(*n, *block, *d)
+	case "mult":
+		c = gen.ArrayMultiplier(*n, *d)
+	case "c17":
+		c = gen.C17(*d)
+	case "parity":
+		c = gen.ParityTree(*n, *d)
+	case "cmp":
+		c = gen.Comparator(*n, *d)
+	case "random":
+		c = gen.Random(*seed, *n, *gates, *d)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "bench":
+		err = circuit.WriteBench(w, c)
+	case "verilog", "v":
+		err = verilog.Write(w, c)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genckt:", err)
+	os.Exit(1)
+}

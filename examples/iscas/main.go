@@ -1,0 +1,38 @@
+// iscas runs one Table-1 row pair on a circuit of the substitute suite
+// (default c17, the only exactly-reproduced ISCAS'85 netlist) and
+// prints it in the paper's layout.
+//
+//	go run ./examples/iscas [circuit]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/harness"
+)
+
+func main() {
+	name := "c17"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	for _, e := range gen.SubstituteSuite() {
+		if e.Name != name {
+			continue
+		}
+		st := e.Circuit.Stats()
+		kind := "exact ISCAS'85 netlist"
+		if e.Substituted {
+			kind = "synthetic substitute (see DESIGN.md §4)"
+		}
+		fmt.Printf("%s — %s: %d gates, %d levels\n", e.Name, kind, st.Gates, st.Levels)
+		fmt.Printf("original paper row: top %d, exact δ %d\n\n", e.PaperTop, e.PaperDelta)
+		rows := harness.CircuitRows(e.Name, e.Circuit, 200000)
+		harness.RenderTable1(os.Stdout, rows)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "no suite circuit named %q\n", name)
+	os.Exit(1)
+}

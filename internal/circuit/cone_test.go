@@ -1,0 +1,55 @@
+package circuit
+
+import "testing"
+
+func TestExtractCone(t *testing.T) {
+	c := buildC17(t, 10)
+	g22, _ := c.NetByName("G22")
+	cone, err := ExtractCone(c, g22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G22's cone: gates G10, G11, G16, G22 and inputs G1, G2, G3, G6.
+	st := cone.Stats()
+	if st.Gates != 4 || st.PIs != 4 || st.POs != 1 {
+		t.Fatalf("cone shape: %+v", st)
+	}
+	for _, name := range []string{"G7", "G19", "G23"} {
+		if _, ok := cone.NetByName(name); ok {
+			t.Errorf("%s must not be in G22's cone", name)
+		}
+	}
+	// Functional equivalence over the cone inputs (G1,G2,G3,G6 order
+	// may differ; map by name).
+	for bits := 0; bits < 16; bits++ {
+		coneAsg := map[string]int{}
+		for i, n := range []string{"G1", "G2", "G3", "G6"} {
+			coneAsg[n] = (bits >> i) & 1
+		}
+		fullAsg := map[string]int{"G7": 0}
+		for n, v := range coneAsg {
+			fullAsg[n] = v
+		}
+		if evalNet(c, "G22", fullAsg) != evalNet(cone, "G22", coneAsg) {
+			t.Fatalf("cone differs on vector %04b", bits)
+		}
+	}
+	// Delays preserved.
+	for i := 0; i < cone.NumGates(); i++ {
+		if cone.Gate(GateID(i)).Delay != 10 {
+			t.Fatal("cone lost delays")
+		}
+	}
+}
+
+func TestExtractConeOfInput(t *testing.T) {
+	c := buildC17(t, 10)
+	g1, _ := c.NetByName("G1")
+	cone, err := ExtractCone(c, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cone.NumGates() != 0 || len(cone.PrimaryInputs()) != 1 || len(cone.PrimaryOutputs()) != 1 {
+		t.Fatalf("input cone shape: %+v", cone.Stats())
+	}
+}

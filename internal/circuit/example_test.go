@@ -1,0 +1,47 @@
+package circuit_test
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// ExampleBuilder shows netlist construction and .bench round-tripping.
+func ExampleBuilder() {
+	b := circuit.NewBuilder("demo")
+	b.Input("a")
+	b.Input("b")
+	b.Gate(circuit.NAND, 10, "x", "a", "b")
+	b.Gate(circuit.NOT, 5, "z", "x")
+	b.Output("z")
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(circuit.BenchString(c))
+	// Output:
+	// # circuit demo: 2 gates, 4 nets
+	// INPUT(a)
+	// INPUT(b)
+	// OUTPUT(z)
+	// x = NAND(a, b) # !delay=10
+	// z = NOT(x) # !delay=5
+}
+
+// ExampleMapToNOR demonstrates the technology-mapping pass the paper's
+// experiments use (NOR implementations with uniform delay).
+func ExampleMapToNOR() {
+	b := circuit.NewBuilder("tiny")
+	b.Input("a")
+	b.Input("b")
+	b.Gate(circuit.AND, 1, "z", "a", "b")
+	b.Output("z")
+	c, _ := b.Build()
+	n, err := circuit.MapToNOR(c, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("gates:", n.NumGates(), "— all NOR with d=10")
+	// Output:
+	// gates: 3 — all NOR with d=10
+}

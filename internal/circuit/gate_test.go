@@ -1,0 +1,100 @@
+package circuit
+
+import "testing"
+
+func TestGateTypeString(t *testing.T) {
+	cases := map[GateType]string{
+		AND: "AND", NAND: "NAND", OR: "OR", NOR: "NOR", NOT: "NOT",
+		BUFFER: "BUFF", DELAY: "DELAY", XOR: "XOR", XNOR: "XNOR",
+	}
+	for gt, want := range cases {
+		if gt.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(gt), gt.String(), want)
+		}
+	}
+}
+
+func TestParseGateType(t *testing.T) {
+	cases := map[string]GateType{
+		"AND": AND, "and": AND, "NAND": NAND, "OR": OR, "NOR": NOR,
+		"NOT": NOT, "INV": NOT, "not": NOT,
+		"BUF": BUFFER, "BUFF": BUFFER, "BUFFER": BUFFER,
+		"DELAY": DELAY, "DEL": DELAY, "XOR": XOR, "xnor": XNOR,
+	}
+	for s, want := range cases {
+		got, ok := ParseGateType(s)
+		if !ok || got != want {
+			t.Errorf("ParseGateType(%q) = %v,%v want %v", s, got, ok, want)
+		}
+	}
+	if _, ok := ParseGateType("MYSTERY"); ok {
+		t.Error("unknown mnemonic must not parse")
+	}
+}
+
+func TestGateTypeClassification(t *testing.T) {
+	for _, gt := range []GateType{NAND, NOR, NOT, XNOR} {
+		if !gt.Inverting() {
+			t.Errorf("%s must be inverting", gt)
+		}
+	}
+	for _, gt := range []GateType{AND, OR, BUFFER, DELAY, XOR} {
+		if gt.Inverting() {
+			t.Errorf("%s must not be inverting", gt)
+		}
+	}
+	if c, ok := AND.HasControlling(); !ok || c != 0 {
+		t.Error("AND controlling must be 0")
+	}
+	if c, ok := NOR.HasControlling(); !ok || c != 1 {
+		t.Error("NOR controlling must be 1")
+	}
+	if _, ok := XOR.HasControlling(); ok {
+		t.Error("XOR has no controlling value")
+	}
+	if _, ok := NOT.HasControlling(); ok {
+		t.Error("NOT has no controlling value")
+	}
+	if !NOT.Unate() || !BUFFER.Unate() || !DELAY.Unate() || AND.Unate() {
+		t.Error("Unate classification wrong")
+	}
+	if !XOR.Parity() || !XNOR.Parity() || OR.Parity() {
+		t.Error("Parity classification wrong")
+	}
+}
+
+func TestGateTypeEvalTruthTables(t *testing.T) {
+	two := [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	want := map[GateType][]int{
+		AND:  {0, 0, 0, 1},
+		NAND: {1, 1, 1, 0},
+		OR:   {0, 1, 1, 1},
+		NOR:  {1, 0, 0, 0},
+		XOR:  {0, 1, 1, 0},
+		XNOR: {1, 0, 0, 1},
+	}
+	for gt, outs := range want {
+		for i, in := range two {
+			if got := gt.Eval(in); got != outs[i] {
+				t.Errorf("%s%v = %d, want %d", gt, in, got, outs[i])
+			}
+		}
+	}
+	if NOT.Eval([]int{0}) != 1 || NOT.Eval([]int{1}) != 0 {
+		t.Error("NOT truth table wrong")
+	}
+	if BUFFER.Eval([]int{1}) != 1 || DELAY.Eval([]int{0}) != 0 {
+		t.Error("BUFFER/DELAY truth table wrong")
+	}
+	// 3-input sanity.
+	if AND.Eval([]int{1, 1, 0}) != 0 || OR.Eval([]int{0, 0, 1}) != 1 {
+		t.Error("3-input eval wrong")
+	}
+	if XOR.Eval([]int{1, 1, 1}) != 1 || XNOR.Eval([]int{1, 1, 1}) != 0 {
+		t.Error("3-input parity wrong")
+	}
+	// Degenerate 1-input forms.
+	if AND.Eval([]int{1}) != 1 || NAND.Eval([]int{1}) != 0 || NOR.Eval([]int{0}) != 1 {
+		t.Error("1-input degenerate eval wrong")
+	}
+}

@@ -1,0 +1,154 @@
+package circuit
+
+import "fmt"
+
+// MapToNOR rewrites the circuit into an equivalent one built only from
+// NOR gates (arbitrary fan-in, 1-input NOR acting as inverter), each
+// with uniform maximum delay d. The paper's experiments run on NOR-gate
+// implementations of the ISCAS'85 benchmarks with a delay of 10 on the
+// output of every gate; this pass produces such implementations from
+// any netlist in the base library.
+func MapToNOR(c *Circuit, d int64) (*Circuit, error) {
+	b := NewBuilder(c.Name + "_nor")
+	for _, pi := range c.PrimaryInputs() {
+		b.Input(c.Net(pi).Name)
+	}
+	aux := 0
+	fresh := func(base string) string {
+		aux++
+		return fmt.Sprintf("%s$n%d", base, aux)
+	}
+	// inv emits NOR(x) and returns the inverted net's name.
+	inv := func(x, base string) string {
+		o := fresh(base)
+		b.Gate(NOR, d, o, x)
+		return o
+	}
+	// xorPair emits a 4-NOR XNOR of two nets and returns (xnorNet).
+	xnorPair := func(x, y, base string) string {
+		n1 := fresh(base)
+		b.Gate(NOR, d, n1, x, y)
+		n2 := fresh(base)
+		b.Gate(NOR, d, n2, x, n1)
+		n3 := fresh(base)
+		b.Gate(NOR, d, n3, y, n1)
+		n4 := fresh(base)
+		b.Gate(NOR, d, n4, n2, n3)
+		return n4
+	}
+	for _, gid := range c.TopoGates() {
+		g := c.Gate(gid)
+		out := c.Net(g.Output).Name
+		in := make([]string, len(g.Inputs))
+		for i, n := range g.Inputs {
+			in[i] = c.Net(n).Name
+		}
+		switch g.Type {
+		case NOR:
+			b.Gate(NOR, d, out, in...)
+		case OR:
+			t := fresh(out)
+			b.Gate(NOR, d, t, in...)
+			b.Gate(NOR, d, out, t)
+		case NOT:
+			b.Gate(NOR, d, out, in[0])
+		case BUFFER, DELAY:
+			b.Gate(NOR, d, out, inv(in[0], out))
+		case AND:
+			invs := make([]string, len(in))
+			for i, x := range in {
+				invs[i] = inv(x, out)
+			}
+			b.Gate(NOR, d, out, invs...)
+		case NAND:
+			invs := make([]string, len(in))
+			for i, x := range in {
+				invs[i] = inv(x, out)
+			}
+			t := fresh(out)
+			b.Gate(NOR, d, t, invs...)
+			b.Gate(NOR, d, out, t)
+		case XOR, XNOR:
+			// Left-to-right chain of 2-input XNOR cells with parity
+			// bookkeeping: xnorPair computes XNOR, so track how many
+			// inversions have accumulated and fix up at the end.
+			cur := in[0]
+			inverted := false // cur currently holds complement of running XOR?
+			for i := 1; i < len(in); i++ {
+				cur = xnorPair(cur, in[i], out)
+				inverted = !inverted // XNOR(cur, x) = NOT(XOR(cur, x))
+			}
+			wantInverted := g.Type == XNOR
+			if len(in) == 1 {
+				if wantInverted {
+					b.Gate(NOR, d, out, cur)
+				} else {
+					b.Gate(NOR, d, out, inv(cur, out))
+				}
+				break
+			}
+			if inverted == wantInverted {
+				b.Gate(NOR, d, out, inv(cur, out)) // double inversion = buffer
+			} else {
+				b.Gate(NOR, d, out, cur)
+			}
+		default:
+			return nil, fmt.Errorf("MapToNOR: unsupported gate type %s", g.Type)
+		}
+	}
+	for _, po := range c.PrimaryOutputs() {
+		b.Output(c.Net(po).Name)
+	}
+	return b.Build()
+}
+
+// ExtractCone returns the transitive fan-in cone of the given net as a
+// standalone circuit: the net becomes the single primary output, the
+// cone's primary inputs are kept, and everything outside the cone is
+// dropped. Timing checks on the cone are equivalent to checks on the
+// original output (the check only constrains the cone), which makes
+// this the standard debugging and speed lever for single-output
+// verification on wide designs.
+func ExtractCone(c *Circuit, sink NetID) (*Circuit, error) {
+	mask := c.TransitiveFanin(sink)
+	b := NewBuilder(c.Name + "_cone_" + c.Net(sink).Name)
+	for _, pi := range c.PrimaryInputs() {
+		if mask[pi] {
+			b.Input(c.Net(pi).Name)
+		}
+	}
+	for _, gid := range c.TopoGates() {
+		g := c.Gate(gid)
+		if !mask[g.Output] {
+			continue
+		}
+		in := make([]string, len(g.Inputs))
+		for i, n := range g.Inputs {
+			in[i] = c.Net(n).Name
+		}
+		b.Gate(g.Type, g.Delay, c.Net(g.Output).Name, in...)
+	}
+	b.Output(c.Net(sink).Name)
+	return b.Build()
+}
+
+// WithUniformDelay returns a copy of the circuit with every gate's
+// maximum delay replaced by d.
+func WithUniformDelay(c *Circuit, d int64) (*Circuit, error) {
+	b := NewBuilder(c.Name)
+	for _, pi := range c.PrimaryInputs() {
+		b.Input(c.Net(pi).Name)
+	}
+	for _, gid := range c.TopoGates() {
+		g := c.Gate(gid)
+		in := make([]string, len(g.Inputs))
+		for i, n := range g.Inputs {
+			in[i] = c.Net(n).Name
+		}
+		b.Gate(g.Type, d, c.Net(g.Output).Name, in...)
+	}
+	for _, po := range c.PrimaryOutputs() {
+		b.Output(c.Net(po).Name)
+	}
+	return b.Build()
+}

@@ -1,0 +1,101 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/waveform"
+)
+
+// TestFixpointConfluence checks Theorem 1's uniqueness in practice: the
+// greatest fixpoint does not depend on the order in which gate
+// constraints are applied. We compare the standard all-at-once
+// evaluation against an adversarial schedule that enables constraints
+// one by one in random order, reaching quiescence in between.
+func TestFixpointConfluence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		c := randomCircuit(t, seed+500, 5, 16)
+		po := c.PrimaryOutputs()[0]
+		delta := waveform.Time(6)
+
+		ref := New(c)
+		ref.Narrow(po, waveform.CheckOutput(delta))
+		ref.ScheduleAll()
+		refOK := ref.Fixpoint()
+
+		alt := New(c)
+		alt.Narrow(po, waveform.CheckOutput(delta))
+		r := rand.New(rand.NewSource(seed))
+		order := r.Perm(c.NumGates())
+		// Trickle the constraints in one at a time; after the last one,
+		// the events triggered by earlier narrowings cover the rest.
+		for _, gi := range order {
+			alt.schedule(circuit.GateID(gi))
+			if !alt.Fixpoint() {
+				break
+			}
+		}
+		// One final full pass to guarantee global quiescence.
+		altOK := true
+		if !alt.Inconsistent() {
+			alt.ScheduleAll()
+			altOK = alt.Fixpoint()
+		} else {
+			altOK = false
+		}
+
+		if refOK != altOK {
+			t.Fatalf("seed %d: consistency differs between schedules: %v vs %v", seed, refOK, altOK)
+		}
+		if !refOK {
+			continue // both inconsistent: domains need not match
+		}
+		for n := 0; n < c.NumNets(); n++ {
+			if !ref.Domain(circuit.NetID(n)).Equal(alt.Domain(circuit.NetID(n))) {
+				t.Fatalf("seed %d: fixpoint differs at net %s: %s vs %s",
+					seed, c.Net(circuit.NetID(n)).Name,
+					ref.Domain(circuit.NetID(n)), alt.Domain(circuit.NetID(n)))
+			}
+		}
+	}
+}
+
+// TestFixpointMonotoneInCheck verifies monotonicity of the whole
+// narrowing in δ: a stricter check (larger δ) yields domains that are
+// narrower-or-equal on every net, and inconsistency is monotone.
+func TestFixpointMonotoneInCheck(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		c := randomCircuit(t, seed+900, 5, 14)
+		po := c.PrimaryOutputs()[0]
+		prevInconsistent := false
+		var prev []waveform.Signal
+		for delta := waveform.Time(0); delta < 20; delta += 3 {
+			s := New(c)
+			s.Narrow(po, waveform.CheckOutput(delta))
+			s.ScheduleAll()
+			ok := s.Fixpoint()
+			if prevInconsistent && ok {
+				t.Fatalf("seed %d: δ=%s consistent after a smaller δ was inconsistent", seed, delta)
+			}
+			if !ok {
+				prevInconsistent = true
+				prev = nil
+				continue
+			}
+			cur := make([]waveform.Signal, c.NumNets())
+			for n := range cur {
+				cur[n] = s.Domain(circuit.NetID(n))
+			}
+			if prev != nil {
+				for n := range cur {
+					if !cur[n].NarrowerEq(prev[n]) {
+						t.Fatalf("seed %d: δ=%s net %s domain %s not narrower than %s",
+							seed, delta, c.Net(circuit.NetID(n)).Name, cur[n], prev[n])
+					}
+				}
+			}
+			prev = cur
+		}
+	}
+}

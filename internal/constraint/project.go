@@ -1,0 +1,400 @@
+package constraint
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/waveform"
+)
+
+// This file implements the relational last-transition-interval
+// projections of Section 3.2. All interval reasoning happens in the
+// gate-input time frame; the gate delay d shifts the output domain down
+// on entry and the computed output interval up on exit.
+//
+// Notation for a gate with controlling input value c (AND/NAND: c = 0,
+// OR/NOR: c = 1): for each input the "ctrl" wave is the abstract
+// waveform of the class that settles to c, the "non-ctrl" wave the
+// other one. An input whose final value is controlling locks the output
+// at its own last-transition time; an input whose final value is
+// non-controlling never constrains the output's last transition beyond
+// the all-inputs-settled bound.
+//
+// Derived relations (L_i = last-transition time of input i, Lo of the
+// output, all in the input frame):
+//
+//   * no input settles to c (combination C = ∅):
+//         Lo = max_i L_i                                  (exact)
+//   * some inputs settle to c (combination set C ≠ ∅):
+//         Lo = min_{i∈C} L_i                              (exact)
+//
+// Both relations follow from the X-pessimistic floating model (the
+// output stays unknown exactly while no controlling-final input has
+// settled and not all inputs have settled; the min over C is always
+// dominated by the max over all inputs) and are validated against the
+// unrolled three-valued simulator in internal/sim. Parity gates use the
+// pure max relation for every class combination.
+
+// applyGate re-evaluates the constraint of gate g, narrowing the
+// domains of its output and input nets.
+func (s *System) applyGate(gid circuit.GateID) {
+	g := s.c.Gate(gid)
+	switch g.Type {
+	case circuit.AND, circuit.NAND:
+		s.projectSymmetric(g, 0)
+	case circuit.OR, circuit.NOR:
+		s.projectSymmetric(g, 1)
+	case circuit.NOT, circuit.BUFFER, circuit.DELAY:
+		s.projectUnate(g)
+	case circuit.XOR, circuit.XNOR:
+		s.projectParity(g)
+	default:
+		panic(fmt.Sprintf("constraint: unknown gate type %s", g.Type))
+	}
+}
+
+// projectUnate handles NOT/BUFFER/DELAY: the output is the (possibly
+// inverted) input shifted by d, in both directions, exactly.
+func (s *System) projectUnate(g *circuit.Gate) {
+	d := waveform.Time(g.Delay)
+	in := s.dom[g.Inputs[0]]
+	out := s.dom[g.Output]
+	outIn := out.Shift(-d) // output domain seen from the input frame
+	if g.Type == circuit.NOT {
+		outIn = outIn.Invert()
+	}
+	newIn := in.Intersect(outIn)
+	newOut := newIn
+	if g.Type == circuit.NOT {
+		newOut = newOut.Invert()
+	}
+	newOut = newOut.Shift(d)
+	s.Narrow(g.Inputs[0], newIn)
+	s.Narrow(g.Output, newOut)
+}
+
+// projectSymmetric handles AND/NAND/OR/NOR with controlling value c,
+// using the exact floating-mode relations:
+//
+//	C ≠ ∅ (some input settles controlling):  Lo = d + min_{i∈C} L_i
+//	C = ∅ (all settle non-controlling):      Lo = d + max_i L_i
+//
+// (For C ≠ ∅ the min over controlling inputs is always ≤ the max over
+// all inputs, so the all-settled term never matters.) Both relations
+// are monotone in every L_i, so the per-combination projection is exact
+// on interval boxes; the union over the combination family F ⊆ C ⊆ A
+// (F = inputs that can only settle controlling, A = inputs that can
+// settle controlling at all) collapses to O(k) aggregates.
+func (s *System) projectSymmetric(g *circuit.Gate, ctrl int) {
+	d := waveform.Time(g.Delay)
+	k := len(g.Inputs)
+	non := 1 - ctrl
+
+	// Output classes: with no inversion the controlled output class is
+	// the controlling value itself; inversion flips it.
+	ctrlOutClass := ctrl
+	if g.Type.Inverting() {
+		ctrlOutClass = non
+	}
+	out := s.dom[g.Output]
+	outC := out.Wave(ctrlOutClass).Shift(-d) // required interval, controlled class
+	outN := out.Wave(1 - ctrlOutClass).Shift(-d)
+
+	// Gather per-input class waves and aggregate bounds (scratch
+	// buffers are reused across applications).
+	if cap(s.scrCtrl) < k {
+		s.scrCtrl = make([]waveform.Wave, k)
+		s.scrNon = make([]waveform.Wave, k)
+		s.scrIn = make([]waveform.Signal, k)
+	}
+	ctrlW := s.scrCtrl[:k]
+	nonW := s.scrNon[:k]
+	allNonOK := true // every input can settle non-controlling
+	famCOK := true   // the controlled family has at least one valid shape
+	var (
+		nonLminMax = waveform.NegInf // max_i nonW[i].Lmin
+		nonLmaxMax = waveform.NegInf // max_i nonW[i].Lmax
+		nonLmax2   = waveform.NegInf // second-largest nonW Lmax
+		minFCtrl   = waveform.PosInf // min over F of ctrlW Lmax
+		minFLmin   = waveform.PosInf // min over F of ctrlW Lmin
+		maxACtrl   = waveform.NegInf // max over A of ctrlW Lmax
+		minALmin   = waveform.PosInf // min over A of ctrlW Lmin
+		numA       int               // |A|: inputs that can settle controlling
+		numF       int               // |F|: inputs that must settle controlling
+	)
+	for i, n := range g.Inputs {
+		cw := s.dom[n].Wave(ctrl)
+		nw := s.dom[n].Wave(non)
+		ctrlW[i], nonW[i] = cw, nw
+		if nw.IsEmpty() && cw.IsEmpty() {
+			// Empty domain: the system is already inconsistent.
+			allNonOK, famCOK = false, false
+			continue
+		}
+		if nw.IsEmpty() {
+			allNonOK = false
+			numF++
+			if cw.Lmax < minFCtrl {
+				minFCtrl = cw.Lmax
+			}
+			if cw.Lmin < minFLmin {
+				minFLmin = cw.Lmin
+			}
+		} else {
+			if nw.Lmin > nonLminMax {
+				nonLminMax = nw.Lmin
+			}
+			if nw.Lmax >= nonLmaxMax {
+				nonLmax2 = nonLmaxMax
+				nonLmaxMax = nw.Lmax
+			} else if nw.Lmax > nonLmax2 {
+				nonLmax2 = nw.Lmax
+			}
+		}
+		if !cw.IsEmpty() {
+			numA++
+			if cw.Lmax > maxACtrl {
+				maxACtrl = cw.Lmax
+			}
+			if cw.Lmin < minALmin {
+				minALmin = cw.Lmin
+			}
+		}
+	}
+	famCOK = famCOK && numA > 0
+
+	// ---- forward: non-controlled output class (C = ∅, exact max) ----
+	var fwdN waveform.Wave
+	if allNonOK && k > 0 {
+		fwdN = waveform.Wave{Lmin: nonLminMax, Lmax: nonLmaxMax}
+	} else {
+		fwdN = waveform.Empty
+	}
+	newOutN := outN.Intersect(fwdN)
+
+	// ---- forward: controlled output class (family hull, exact) ----
+	// Upper: smallest valid C wins → C = F when F ≠ ∅, else the best
+	// singleton. Lower: a minimum-Lmin member can always be added.
+	var fwdC waveform.Wave
+	if famCOK {
+		hi := maxACtrl
+		if numF > 0 {
+			hi = minFCtrl
+		}
+		fwdC = waveform.Wave{Lmin: minALmin, Lmax: hi}.Canon()
+	} else {
+		fwdC = waveform.Empty
+	}
+	newOutC := outC.Intersect(fwdC)
+
+	// ---- backward projections per input ----
+	loN, hiN := outNBounds(newOutN)
+	loC, hiC := outNBounds(newOutC)
+	famNFeasible := allNonOK && !newOutN.IsEmpty()
+	famCLive := famCOK && !newOutC.IsEmpty()
+
+	// qual(j): input j's controlling class can be a member of a valid
+	// requirement-compatible combination (all members need Lmax ≥ loC;
+	// some member needs Lmin ≤ hiC — qualifying members provide both).
+	cntQ := 0
+	qual := make([]bool, k)
+	if famCLive {
+		for i := range g.Inputs {
+			if !ctrlW[i].IsEmpty() && ctrlW[i].Lmax >= loC && ctrlW[i].Lmin <= hiC {
+				qual[i] = true
+				cntQ++
+			}
+		}
+	}
+	existsQualOther := func(i int) bool {
+		if qual[i] {
+			return cntQ >= 2
+		}
+		return cntQ >= 1
+	}
+
+	newIn := s.scrIn[:k]
+	for i := range g.Inputs {
+		// Non-controlling class of input i.
+		var projN waveform.Wave = waveform.Empty
+		if !nonW[i].IsEmpty() {
+			// (a) via the all-non-controlling combination (max rule).
+			if famNFeasible {
+				othersMax := nonLmaxMax
+				if nonW[i].Lmax == nonLmaxMax {
+					othersMax = nonLmax2
+				}
+				l := nonW[i].Lmin
+				if othersMax < loN {
+					l = waveform.MaxTime(l, loN)
+				}
+				h := waveform.MinTime(nonW[i].Lmax, hiN)
+				projN = projN.Union(waveform.Wave{Lmin: l, Lmax: h}.Canon())
+			}
+			// (b) via controlled combinations with i non-controlling
+			// (i is never in F here): the combination must exist
+			// without i — F plus, when F cannot reach the interval on
+			// its own, one qualifying other input.
+			if famCLive {
+				feasible := false
+				if numF > 0 {
+					feasible = minFCtrl >= loC && (minFLmin <= hiC || existsQualOther(i))
+				} else {
+					feasible = existsQualOther(i)
+				}
+				if feasible {
+					projN = projN.Union(nonW[i])
+				}
+			}
+		}
+		// Controlling class of input i (min rule over C).
+		var projC waveform.Wave = waveform.Empty
+		if !ctrlW[i].IsEmpty() && famCLive {
+			// F ∪ {i} must be a valid shape: all F members reach loC.
+			if numF == 0 || minFCtrl >= loC {
+				l := waveform.MaxTime(ctrlW[i].Lmin, loC)
+				h := ctrlW[i].Lmax
+				if !existsQualOther(i) {
+					// i alone must realise min_C L ≤ hiC.
+					h = waveform.MinTime(h, hiC)
+				}
+				projC = waveform.Wave{Lmin: l, Lmax: h}.Canon()
+			}
+		}
+		ctrlClass := ctrl
+		sig := waveform.Signal{}
+		sig = sig.WithWave(ctrlClass, projC)
+		sig = sig.WithWave(1-ctrlClass, projN)
+		newIn[i] = sig
+	}
+
+	// Apply all narrowings (output classes mapped back to circuit
+	// classes and time frame).
+	no := waveform.Signal{}
+	no = no.WithWave(ctrlOutClass, newOutC.Shift(d))
+	no = no.WithWave(1-ctrlOutClass, newOutN.Shift(d))
+	s.Narrow(g.Output, no)
+	for i, n := range g.Inputs {
+		s.Narrow(n, newIn[i])
+	}
+}
+
+// outNBounds extracts the (lo, hi) interval of a wave, with the empty
+// wave mapping to an infeasible (PosInf, NegInf) pair.
+func outNBounds(w waveform.Wave) (lo, hi waveform.Time) {
+	if w.IsEmpty() {
+		return waveform.PosInf, waveform.NegInf
+	}
+	return w.Lmin, w.Lmax
+}
+
+// projectParity handles XOR/XNOR by enumerating input-class
+// combinations (parity gates in practice have small fan-in).
+func (s *System) projectParity(g *circuit.Gate) {
+	d := waveform.Time(g.Delay)
+	k := len(g.Inputs)
+	if k > 16 {
+		panic(fmt.Sprintf("constraint: parity gate with fan-in %d unsupported", k))
+	}
+	if cap(s.scrPar) < 3*k {
+		s.scrPar = make([][2]waveform.Wave, 3*k)
+	}
+	inW := s.scrPar[:k]
+	for i, n := range g.Inputs {
+		inW[i][0] = s.dom[n].Wave(0)
+		inW[i][1] = s.dom[n].Wave(1)
+	}
+	outReq := [2]waveform.Wave{
+		s.dom[g.Output].Wave(0).Shift(-d),
+		s.dom[g.Output].Wave(1).Shift(-d),
+	}
+
+	fwd := [2]waveform.Wave{waveform.Empty, waveform.Empty}
+	back := s.scrPar[k : 2*k]
+	for i := range back {
+		back[i][0] = waveform.Empty
+		back[i][1] = waveform.Empty
+	}
+
+	if cap(s.scrCtrl) < k {
+		s.scrCtrl = make([]waveform.Wave, k)
+		s.scrNon = make([]waveform.Wave, k)
+		s.scrIn = make([]waveform.Signal, k)
+	}
+	chosen := s.scrCtrl[:k]
+	for bits := 0; bits < 1<<k; bits++ {
+		parity := 0
+		feasible := true
+		for i := 0; i < k; i++ {
+			v := (bits >> i) & 1
+			w := inW[i][v]
+			if w.IsEmpty() {
+				feasible = false
+				break
+			}
+			chosen[i] = w
+			parity ^= v
+		}
+		if !feasible {
+			continue
+		}
+		outClass := parity
+		if g.Type == circuit.XNOR {
+			outClass ^= 1
+		}
+		req := outReq[outClass]
+		if req.IsEmpty() {
+			continue
+		}
+		lo, hi := req.Lmin, req.Lmax
+
+		// Combination interval: Lo = max_i L_i exactly (the max
+		// relation is monotone, so corner evaluation is exact).
+		maxLmin, maxLmax := waveform.NegInf, waveform.NegInf
+		maxLmax2 := waveform.NegInf
+		argMax := -1
+		for i, w := range chosen {
+			if w.Lmin > maxLmin {
+				maxLmin = w.Lmin
+			}
+			if w.Lmax >= maxLmax {
+				maxLmax2 = maxLmax
+				maxLmax = w.Lmax
+				argMax = i
+			} else if w.Lmax > maxLmax2 {
+				maxLmax2 = w.Lmax
+			}
+		}
+		// Feasibility against the required output interval.
+		if maxLmax < lo || maxLmin > hi {
+			continue
+		}
+		// Forward contribution (intersected per combination, which is
+		// tighter than hull-then-intersect and still sound).
+		fwd[outClass] = fwd[outClass].Union(waveform.Wave{Lmin: maxLmin, Lmax: maxLmax}.Intersect(req))
+		// Backward contributions: L_i ≤ hi always; L_i ≥ lo when no
+		// other input can realise the max.
+		for i, w := range chosen {
+			othersMax := maxLmax2
+			if !(w.Lmax == maxLmax && i == argMax) {
+				othersMax = maxLmax
+			}
+			l := w.Lmin
+			if othersMax < lo {
+				l = waveform.MaxTime(l, lo)
+			}
+			h := waveform.MinTime(w.Lmax, hi)
+			v := (bits >> i) & 1
+			back[i][v] = back[i][v].Union(waveform.Wave{Lmin: l, Lmax: h}.Canon())
+		}
+	}
+
+	no := waveform.Signal{
+		W0: outReq[0].Intersect(fwd[0]).Shift(d),
+		W1: outReq[1].Intersect(fwd[1]).Shift(d),
+	}
+	s.Narrow(g.Output, no)
+	for i, n := range g.Inputs {
+		s.Narrow(n, waveform.Signal{W0: back[i][0], W1: back[i][1]})
+	}
+}

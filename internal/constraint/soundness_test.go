@@ -1,0 +1,143 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+	"repro/internal/waveform"
+)
+
+// randomCircuit builds a seeded random DAG netlist.
+func randomCircuit(t testing.TB, seed int64, nPI, nGates int) *circuit.Circuit {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder("rand")
+	var nets []string
+	for i := 0; i < nPI; i++ {
+		n := "i" + string(rune('0'+i))
+		b.Input(n)
+		nets = append(nets, n)
+	}
+	types := []circuit.GateType{
+		circuit.AND, circuit.NAND, circuit.OR, circuit.NOR,
+		circuit.NOT, circuit.BUFFER, circuit.DELAY, circuit.XOR, circuit.XNOR,
+	}
+	for i := 0; i < nGates; i++ {
+		gt := types[r.Intn(len(types))]
+		name := "g" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		nin := 1
+		if !gt.Unate() {
+			nin = 2 + r.Intn(2)
+		}
+		ins := make([]string, nin)
+		for j := range ins {
+			// Bias toward recent nets to get depth.
+			k := len(nets) - 1 - r.Intn(min(len(nets), 6))
+			ins[j] = nets[k]
+		}
+		b.Gate(gt, int64(1+r.Intn(5)), name, ins...)
+		nets = append(nets, name)
+	}
+	b.Output(nets[len(nets)-1])
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestNarrowingSoundness is the central correctness property of the
+// whole framework: whenever the fixpoint proves the timing check
+// (s, δ) inconsistent, NO input vector may reach a floating-mode settle
+// time ≥ δ on s (verified exhaustively); and whenever a vector does
+// violate the check, the fixpoint must stay consistent AND every
+// primary input's domain must retain the vector's settling class.
+func TestNarrowingSoundness(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		c := randomCircuit(t, seed, 5, 14)
+		po := c.PrimaryOutputs()[0]
+		exact, _, err := sim.FloatingDelayExhaustive(c, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Probe deltas around the exact delay.
+		for _, delta := range []waveform.Time{exact - 2, exact - 1, exact, exact + 1, exact + 2, exact + 7} {
+			if delta < 0 {
+				continue
+			}
+			s := New(c)
+			s.Narrow(po, waveform.CheckOutput(delta))
+			s.ScheduleAll()
+			consistent := s.Fixpoint()
+			violable := exact >= delta
+			if !consistent && violable {
+				t.Fatalf("seed %d: narrowing UNSOUND: δ=%s disproved but exact floating delay is %s",
+					seed, delta, exact)
+			}
+			if !violable && consistent {
+				// Expected pessimism: allowed, not an error. Count it
+				// silently; the dominator/case-analysis layers resolve
+				// these.
+				continue
+			}
+			if consistent && violable {
+				// The violating vectors' classes must survive in the
+				// PI domains.
+				k := len(c.PrimaryInputs())
+				for bits := 0; bits < 1<<k; bits++ {
+					v := make(sim.Vector, k)
+					for i := range v {
+						v[i] = (bits >> i) & 1
+					}
+					r, _ := sim.Run(c, v)
+					if r.Settle[po] < delta {
+						continue
+					}
+					for i, pi := range c.PrimaryInputs() {
+						if s.Domain(pi).Wave(v[i]).IsEmpty() {
+							t.Fatalf("seed %d δ=%s: violating vector %s lost PI %s class %d",
+								seed, delta, v, c.Net(pi).Name, v[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNarrowingSoundnessUnderDecisions extends the soundness property
+// to decision levels: fixing primary-input classes that agree with a
+// violating vector must never produce inconsistency.
+func TestNarrowingSoundnessUnderDecisions(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		c := randomCircuit(t, seed, 4, 10)
+		po := c.PrimaryOutputs()[0]
+		exact, witness, err := sim.FloatingDelayExhaustive(c, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(c)
+		s.Narrow(po, waveform.CheckOutput(exact))
+		s.ScheduleAll()
+		if !s.Fixpoint() {
+			t.Fatalf("seed %d: check at the exact delay must stay consistent", seed)
+		}
+		// Fix PIs one at a time to the witness vector's classes.
+		for i, pi := range c.PrimaryInputs() {
+			s.Mark()
+			s.Narrow(pi, waveform.SettledTo(witness[i]))
+			if !s.Fixpoint() {
+				t.Fatalf("seed %d: fixing PI %d to the witness class broke consistency", seed, i)
+			}
+		}
+	}
+}

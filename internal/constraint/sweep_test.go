@@ -1,0 +1,62 @@
+package constraint
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/waveform"
+)
+
+// TestSweepModeSameFixpoint: the Sweep discipline must reach exactly
+// the FIFO fixpoint (uniqueness of the greatest fixpoint), typically in
+// fewer constraint applications.
+func TestSweepModeSameFixpoint(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := randomCircuit(t, seed+1300, 5, 18)
+		po := c.PrimaryOutputs()[0]
+		for _, delta := range []waveform.Time{3, 8, 15} {
+			fifo := New(c)
+			fifo.Narrow(po, waveform.CheckOutput(delta))
+			fifo.ScheduleAll()
+			okF := fifo.Fixpoint()
+
+			sweep := New(c)
+			sweep.SetScheduleMode(Sweep)
+			sweep.Narrow(po, waveform.CheckOutput(delta))
+			sweep.ScheduleAll()
+			okS := sweep.Fixpoint()
+
+			if okF != okS {
+				t.Fatalf("seed %d δ=%s: consistency differs: fifo=%v sweep=%v", seed, delta, okF, okS)
+			}
+			if !okF {
+				continue
+			}
+			for n := 0; n < c.NumNets(); n++ {
+				if !fifo.Domain(circuit.NetID(n)).Equal(sweep.Domain(circuit.NetID(n))) {
+					t.Fatalf("seed %d δ=%s: fixpoints differ at %s", seed, delta, c.Net(circuit.NetID(n)).Name)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepModeTrailCompatible(t *testing.T) {
+	c := randomCircuit(t, 42, 4, 12)
+	po := c.PrimaryOutputs()[0]
+	s := New(c)
+	s.SetScheduleMode(Sweep)
+	s.Narrow(po, waveform.CheckOutput(5))
+	s.ScheduleAll()
+	if !s.Fixpoint() {
+		t.Skip("seed narrows to inconsistency; pick another circuit")
+	}
+	before := s.Domain(po)
+	s.Mark()
+	s.Narrow(po, waveform.CheckOutput(9))
+	s.Fixpoint()
+	s.Undo()
+	if !s.Domain(po).Equal(before) {
+		t.Fatal("undo must restore under Sweep mode too")
+	}
+}

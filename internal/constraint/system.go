@@ -1,0 +1,288 @@
+// Package constraint implements the waveform-narrowing constraint
+// system of the paper (Section 3): one abstract-signal domain per net,
+// one relational constraint per gate, an event-driven scheduler, and
+// the greatest-fixpoint solver, with trail-based selective state saving
+// for the backtracking used by case analysis.
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/waveform"
+)
+
+// System is the constraint system associated with a timing check. It
+// owns one Signal domain per net and re-evaluates gate constraints
+// event-driven until the greatest fixpoint is reached.
+type System struct {
+	c   *circuit.Circuit
+	dom []waveform.Signal
+
+	queue   []circuit.GateID
+	inQueue []bool
+	mode    ScheduleMode
+	topoPos []int32
+
+	// scratch buffers reused across gate applications (the system is
+	// single-goroutine by design; every Check owns its own System).
+	scrCtrl []waveform.Wave
+	scrNon  []waveform.Wave
+	scrIn   []waveform.Signal
+	scrPar  [][2]waveform.Wave
+
+	trace func(n circuit.NetID, old, new waveform.Signal)
+
+	trail trail
+
+	inconsistent bool
+	emptyNet     circuit.NetID
+
+	// Propagations counts gate-constraint applications (statistics).
+	Propagations int64
+	// Narrowings counts domain changes (statistics).
+	Narrowings int64
+}
+
+// New builds the constraint system for the circuit with the paper's
+// initial domains: every net unconstrained, every primary input
+// restricted to floating-mode waveforms (stable after time 0).
+func New(c *circuit.Circuit) *System {
+	s := &System{
+		c:        c,
+		dom:      make([]waveform.Signal, c.NumNets()),
+		inQueue:  make([]bool, c.NumGates()),
+		emptyNet: circuit.InvalidNet,
+	}
+	for i := range s.dom {
+		s.dom[i] = waveform.FullSignal
+	}
+	for _, pi := range c.PrimaryInputs() {
+		s.dom[pi] = waveform.FloatingInput
+	}
+	return s
+}
+
+// Circuit returns the underlying netlist.
+func (s *System) Circuit() *circuit.Circuit { return s.c }
+
+// Domain returns the current domain of net n.
+func (s *System) Domain(n circuit.NetID) waveform.Signal { return s.dom[n] }
+
+// Inconsistent reports whether some net's domain has become (φ, φ); in
+// that state the timing check has no solution (Theorem 2 generalised to
+// any net).
+func (s *System) Inconsistent() bool { return s.inconsistent }
+
+// EmptyNet returns the first net whose domain emptied, or InvalidNet.
+func (s *System) EmptyNet() circuit.NetID { return s.emptyNet }
+
+// schedule enqueues gate g unless it is already pending.
+func (s *System) schedule(g circuit.GateID) {
+	if g == circuit.InvalidGate || s.inQueue[g] {
+		return
+	}
+	s.inQueue[g] = true
+	s.queue = append(s.queue, g)
+}
+
+// ScheduleAll enqueues every gate constraint (used for the initial
+// evaluation).
+func (s *System) ScheduleAll() {
+	for i := 0; i < s.c.NumGates(); i++ {
+		s.schedule(circuit.GateID(i))
+	}
+}
+
+// ScheduleNet enqueues every constraint operating on net n (its driver
+// and its fanout gates).
+func (s *System) ScheduleNet(n circuit.NetID) {
+	s.schedule(s.c.Net(n).Driver)
+	for _, g := range s.c.Net(n).Fanout {
+		s.schedule(g)
+	}
+}
+
+// SetTraceFunc installs a callback invoked on every domain narrowing
+// with the net and its old and new signals — the hook behind the
+// paper-style propagation listings (ltta -trace, cmd/figures). Pass nil
+// to disable. Tracing has no effect on results.
+func (s *System) SetTraceFunc(f func(n circuit.NetID, old, new waveform.Signal)) {
+	s.trace = f
+}
+
+// Narrow intersects the domain of net n with sig, records the old value
+// on the trail, and schedules the affected constraints. It reports
+// whether the domain changed. Narrowing to (φ, φ) marks the system
+// inconsistent.
+func (s *System) Narrow(n circuit.NetID, sig waveform.Signal) bool {
+	nd := s.dom[n].Intersect(sig).Canon()
+	if nd.Equal(s.dom[n]) {
+		return false
+	}
+	s.trail.save(n, s.dom[n])
+	if s.trace != nil {
+		s.trace(n, s.dom[n], nd)
+	}
+	s.dom[n] = nd
+	s.Narrowings++
+	if nd.IsEmpty() && !s.inconsistent {
+		s.inconsistent = true
+		s.emptyNet = n
+	}
+	s.ScheduleNet(n)
+	return true
+}
+
+// ScheduleMode selects the worklist discipline of the fixpoint solver.
+type ScheduleMode int
+
+const (
+	// FIFO processes gate constraints in arrival order — the paper's
+	// event-driven scheduler. Default.
+	FIFO ScheduleMode = iota
+	// Sweep drains the worklist in alternating topological passes
+	// (forward, then backward), which matches how narrowing information
+	// actually flows and can reach the fixpoint in fewer applications
+	// on deep circuits. Same fixpoint either way (it is unique).
+	Sweep
+)
+
+// SetScheduleMode selects the worklist discipline (before solving).
+func (s *System) SetScheduleMode(m ScheduleMode) { s.mode = m }
+
+// Fixpoint applies pending gate constraints until quiescence or
+// inconsistency (the reach_fixpoint procedure of Figure 4). It returns
+// true when the system is still consistent. The fixpoint is the
+// greatest one: every application only narrows domains, and times are
+// integers bounded by the finite constants in the system, so
+// termination is guaranteed (Theorem 1).
+func (s *System) Fixpoint() bool {
+	if s.mode == Sweep {
+		return s.fixpointSweep()
+	}
+	for len(s.queue) > 0 && !s.inconsistent {
+		g := s.queue[0]
+		s.queue = s.queue[1:]
+		s.inQueue[g] = false
+		s.Propagations++
+		s.applyGate(g)
+	}
+	return s.finishFixpoint()
+}
+
+// fixpointSweep drains the worklist in alternating topological sweeps.
+func (s *System) fixpointSweep() bool {
+	if s.topoPos == nil {
+		s.topoPos = make([]int32, s.c.NumGates())
+		for i, g := range s.c.TopoGates() {
+			s.topoPos[g] = int32(i)
+		}
+	}
+	forward := true
+	batch := make([]circuit.GateID, 0, len(s.queue))
+	for len(s.queue) > 0 && !s.inconsistent {
+		batch = append(batch[:0], s.queue...)
+		s.queue = s.queue[:0]
+		for _, g := range batch {
+			s.inQueue[g] = false
+		}
+		if forward {
+			sortGatesBy(batch, s.topoPos, false)
+		} else {
+			sortGatesBy(batch, s.topoPos, true)
+		}
+		forward = !forward
+		for _, g := range batch {
+			if s.inconsistent {
+				break
+			}
+			s.Propagations++
+			s.applyGate(g)
+		}
+	}
+	return s.finishFixpoint()
+}
+
+func (s *System) finishFixpoint() bool {
+	if s.inconsistent {
+		// Drain so a later resume starts clean.
+		for _, g := range s.queue {
+			s.inQueue[g] = false
+		}
+		s.queue = s.queue[:0]
+		return false
+	}
+	return true
+}
+
+func sortGatesBy(gs []circuit.GateID, pos []int32, desc bool) {
+	sort.Slice(gs, func(i, j int) bool {
+		if desc {
+			return pos[gs[i]] > pos[gs[j]]
+		}
+		return pos[gs[i]] < pos[gs[j]]
+	})
+}
+
+// Mark opens a new decision level; Undo rewinds to the matching mark.
+func (s *System) Mark() { s.trail.mark() }
+
+// Undo rewinds domains to the most recent mark, clearing any
+// inconsistency and pending events.
+func (s *System) Undo() {
+	s.trail.undo(func(n circuit.NetID, old waveform.Signal) {
+		s.dom[n] = old
+	})
+	s.inconsistent = false
+	s.emptyNet = circuit.InvalidNet
+	for _, g := range s.queue {
+		s.inQueue[g] = false
+	}
+	s.queue = s.queue[:0]
+}
+
+// Levels returns the number of open decision levels.
+func (s *System) Levels() int { return len(s.trail.marks) }
+
+// String summarises the system state (for debugging and error text).
+func (s *System) String() string {
+	st := "consistent"
+	if s.inconsistent {
+		st = fmt.Sprintf("inconsistent at %s", s.c.Net(s.emptyNet).Name)
+	}
+	return fmt.Sprintf("constraint.System{%d nets, %d gates, %s, %d propagations}",
+		s.c.NumNets(), s.c.NumGates(), st, s.Propagations)
+}
+
+// trail is the selective state store: old domain values with level
+// marks, replayed backwards on Undo.
+type trail struct {
+	nets  []circuit.NetID
+	vals  []waveform.Signal
+	marks []int
+}
+
+func (t *trail) mark() { t.marks = append(t.marks, len(t.nets)) }
+
+func (t *trail) save(n circuit.NetID, old waveform.Signal) {
+	if len(t.marks) == 0 {
+		return // no open level: nothing to restore to
+	}
+	t.nets = append(t.nets, n)
+	t.vals = append(t.vals, old)
+}
+
+func (t *trail) undo(restore func(circuit.NetID, waveform.Signal)) {
+	if len(t.marks) == 0 {
+		return
+	}
+	base := t.marks[len(t.marks)-1]
+	t.marks = t.marks[:len(t.marks)-1]
+	for i := len(t.nets) - 1; i >= base; i-- {
+		restore(t.nets[i], t.vals[i])
+	}
+	t.nets = t.nets[:base]
+	t.vals = t.vals[:base]
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/constraint"
+	"repro/internal/dom"
+	"repro/internal/sim"
+	"repro/internal/waveform"
+)
+
+// This file implements the case analysis of Section 5: a FAN-derived
+// branch-and-narrow search that splits net domains one class at a time.
+// Objectives (k, n0(k), n1(k)) carry path-delay weights ("a path to s
+// of delay n0 is potentially enabled by setting net k to 0"); the
+// backtrace takes the largest incoming weight at fanout joins (the
+// paper's max rule) and SCOAP controllability breaks ties. Decisions
+// follow the paper's three phases: (1) inside consecutive
+// dynamic-dominator segments, (2) on the whole circuit, (3) directly on
+// the primary inputs. Because every candidate vector is certified
+// against the floating-mode simulator before being reported, and the
+// narrowing layers are sound, the search verdicts are exact; only the
+// decision *order* is heuristic.
+
+// decision is one entry of the decision stack.
+type decision struct {
+	net     circuit.NetID
+	val     int
+	flipped bool
+}
+
+// caseAnalysis searches for a test vector violating (sink, δ), returns
+// NoViolation when the search space is exhausted, or Abandoned past the
+// backtrack budget. rep.Backtracks and rep.Witness are filled in.
+func (v *Verifier) caseAnalysis(sys *constraint.System, sink circuit.NetID, delta waveform.Time, rep *Report) Result {
+	var stack []decision
+	rep.Backtracks = 0
+
+	backtrack := func() bool {
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			sys.Undo()
+			if !top.flipped {
+				top.flipped = true
+				top.val = 1 - top.val
+				sys.Mark()
+				sys.Narrow(top.net, waveform.SettledTo(top.val))
+				return true
+			}
+			stack = stack[:len(stack)-1]
+		}
+		return false
+	}
+
+	for {
+		if v.evaluate(sys, sink, delta, rep) == NoViolation {
+			rep.Backtracks++
+			if v.opts.MaxBacktracks > 0 && rep.Backtracks > v.opts.MaxBacktracks {
+				return Abandoned
+			}
+			if !backtrack() {
+				return NoViolation
+			}
+			continue
+		}
+		// Consistent at fixpoint: decide the next net.
+		net, val, ok := v.pickDecision(sys, sink, delta)
+		if !ok {
+			// Every primary input is classed: candidate vector.
+			vec := v.extractVector(sys)
+			r, err := sim.Run(v.c, vec)
+			if err == nil && r.Settle[sink] >= delta {
+				rep.Witness = vec
+				rep.WitnessSettle = r.Settle[sink]
+				return ViolationFound
+			}
+			// Local consistency was too optimistic: treat as conflict.
+			rep.Backtracks++
+			if v.opts.MaxBacktracks > 0 && rep.Backtracks > v.opts.MaxBacktracks {
+				return Abandoned
+			}
+			if !backtrack() {
+				return NoViolation
+			}
+			continue
+		}
+		sys.Mark()
+		stack = append(stack, decision{net: net, val: val})
+		sys.Narrow(net, waveform.SettledTo(val))
+	}
+}
+
+// extractVector reads the decided class of every primary input.
+func (v *Verifier) extractVector(sys *constraint.System) sim.Vector {
+	pis := v.c.PrimaryInputs()
+	vec := make(sim.Vector, len(pis))
+	for i, pi := range pis {
+		if val, ok := sys.Domain(pi).KnownValue(); ok {
+			vec[i] = val
+		} else {
+			vec[i] = 0 // unreachable when pickDecision reports done
+		}
+	}
+	return vec
+}
+
+// objective is a net-value goal with a path-delay weight.
+type objective struct {
+	net    circuit.NetID
+	val    int
+	weight waveform.Time
+	seg    int // dominator segment index (phase 1 ordering)
+}
+
+// pickDecision selects the next decision net and class, following the
+// paper's phase structure. It returns ok = false when all primary
+// inputs are already single-class.
+func (v *Verifier) pickDecision(sys *constraint.System, sink circuit.NetID, delta waveform.Time) (circuit.NetID, int, bool) {
+	carrier, dist := dom.DynamicCarriers(sys, sink, delta)
+
+	// Phase 1: sensitising objectives on the non-carrier inputs of
+	// gates in the dynamic-carrier circuit, dominator segment by
+	// dominator segment, longest potential path first.
+	for _, o := range v.initialObjectives(sys, sink, delta, carrier, dist) {
+		if n, val, ok := v.backtrace(sys, o.net, o.val); ok {
+			return n, val, true
+		}
+	}
+
+	// Phase 2: decisions on the whole circuit — undecided reconvergent
+	// fanout stems inside the carrier circuit, deepest first (the
+	// profound-effect nets the paper's modified FAN splits on).
+	var stems []objective
+	for _, stem := range v.stems {
+		if !carrier[stem] {
+			continue
+		}
+		d := sys.Domain(stem)
+		if _, known := d.KnownValue(); known {
+			continue
+		}
+		stems = append(stems, objective{net: stem, weight: dist[stem]})
+	}
+	sort.Slice(stems, func(i, j int) bool {
+		if stems[i].weight != stems[j].weight {
+			return stems[i].weight > stems[j].weight
+		}
+		return stems[i].net < stems[j].net
+	})
+	for _, o := range stems {
+		d := sys.Domain(o.net)
+		val := 0
+		if d.W0.IsEmpty() || (!d.W1.IsEmpty() && v.cc.Cost(o.net, 1) < v.cc.Cost(o.net, 0)) {
+			val = 1
+		}
+		return o.net, val, true
+	}
+
+	// Phase 3: complete backtrace from unjustified nets — outputs whose
+	// class is decided but not yet justified by their inputs — down to
+	// primary inputs; then any leftover undecided primary input,
+	// cheapest controllability first.
+	for _, u := range v.unjustified(sys) {
+		if n, val, ok := v.backtrace(sys, u.net, u.val); ok {
+			return n, val, true
+		}
+	}
+	type piCand struct {
+		n    circuit.NetID
+		cost int64
+	}
+	var cands []piCand
+	for _, pi := range v.c.PrimaryInputs() {
+		if _, known := sys.Domain(pi).KnownValue(); !known {
+			cost := v.cc.Cost(pi, 0)
+			if c1 := v.cc.Cost(pi, 1); c1 < cost {
+				cost = c1
+			}
+			cands = append(cands, piCand{pi, cost})
+		}
+	}
+	if len(cands) == 0 {
+		return circuit.InvalidNet, 0, false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].n < cands[j].n
+	})
+	pi := cands[0].n
+	// Prefer the class that keeps the carrier paths sensitised: choose
+	// the one whose wave is non-empty with the later bound.
+	d := sys.Domain(pi)
+	val := 0
+	if d.W0.IsEmpty() || (!d.W1.IsEmpty() && v.cc.Cost(pi, 1) < v.cc.Cost(pi, 0)) {
+		val = 1
+	}
+	return pi, val, true
+}
+
+// unjustifiedGoal is a decided-but-unjustified gate output with its
+// decided class, used as a Phase-3 backtrace objective.
+type unjustifiedGoal struct {
+	net circuit.NetID
+	val int
+}
+
+// unjustified finds gate outputs whose domain is restricted to one
+// class while the gate's inputs do not yet force that class — the
+// paper's Phase-3 sources. A gate output with class v is justified when
+// either some input is pinned to a controlling value producing v, or
+// every input is pinned non-controlling and v is the resulting value
+// (with the parity/unate analogues).
+func (v *Verifier) unjustified(sys *constraint.System) []unjustifiedGoal {
+	var out []unjustifiedGoal
+	for i := 0; i < v.c.NumGates(); i++ {
+		g := v.c.Gate(circuit.GateID(i))
+		val, known := sys.Domain(g.Output).KnownValue()
+		if !known {
+			continue
+		}
+		if v.justified(sys, g, val) {
+			continue
+		}
+		out = append(out, unjustifiedGoal{net: g.Output, val: val})
+	}
+	// Deepest first: justification decisions near the output constrain
+	// the most.
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := v.c.Level(out[i].net), v.c.Level(out[j].net)
+		if li != lj {
+			return li > lj
+		}
+		return out[i].net < out[j].net
+	})
+	return out
+}
+
+// justified reports whether the decided output class of gate g is
+// already forced by its inputs' decided classes.
+func (v *Verifier) justified(sys *constraint.System, g *circuit.Gate, val int) bool {
+	switch {
+	case g.Type.Unate():
+		_, known := sys.Domain(g.Inputs[0]).KnownValue()
+		return known
+	case g.Type.Parity():
+		for _, x := range g.Inputs {
+			if _, known := sys.Domain(x).KnownValue(); !known {
+				return false
+			}
+		}
+		return true
+	default:
+		ctrl, _ := g.Type.HasControlling()
+		controlled := ctrl
+		if g.Type.Inverting() {
+			controlled = 1 - ctrl
+		}
+		if val == controlled {
+			// Justified iff some input is pinned controlling.
+			for _, x := range g.Inputs {
+				if xv, known := sys.Domain(x).KnownValue(); known && xv == ctrl {
+					return true
+				}
+			}
+			return false
+		}
+		// Non-controlled output: justified iff all inputs pinned
+		// non-controlling.
+		for _, x := range g.Inputs {
+			if xv, known := sys.Domain(x).KnownValue(); !known || xv == ctrl {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// initialObjectives computes the paper's initial objectives: inputs of
+// gates of the dynamic-carrier circuit Ψ that are not themselves
+// dynamic carriers should take the non-controlling value of the gate
+// they feed (sensitising the paths inside Ψ). Objectives are weighted
+// by the dynamic distance of the carrier output (favouring long paths)
+// and grouped by dominator segment.
+func (v *Verifier) initialObjectives(sys *constraint.System, sink circuit.NetID, delta waveform.Time, carrier []bool, dist []waveform.Time) []objective {
+	var doms dom.Dominators
+	if v.opts.UseDominators {
+		doms = dom.FromCarriers(v.c, carrier, dist, sink)
+	}
+	segOf := func(n circuit.NetID) int {
+		// Segment i covers nets at levels between dominator i+1
+		// (exclusive) and dominator i (inclusive).
+		if len(doms.Nets) == 0 {
+			return 0
+		}
+		lvl := v.c.Level(n)
+		for i := len(doms.Nets) - 1; i >= 0; i-- {
+			if lvl <= v.c.Level(doms.Nets[i]) {
+				return i
+			}
+		}
+		return 0
+	}
+	var objs []objective
+	seen := make(map[circuit.NetID]bool)
+	for n := 0; n < v.c.NumNets(); n++ {
+		if !carrier[n] {
+			continue
+		}
+		y := circuit.NetID(n)
+		drv := v.c.Net(y).Driver
+		if drv == circuit.InvalidGate {
+			continue
+		}
+		g := v.c.Gate(drv)
+		ctrl, has := g.Type.HasControlling()
+		if !has {
+			continue // parity gates have no sensitising side value
+		}
+		for _, x := range g.Inputs {
+			if carrier[x] || seen[x] {
+				continue
+			}
+			if _, known := sys.Domain(x).KnownValue(); known {
+				continue
+			}
+			seen[x] = true
+			objs = append(objs, objective{
+				net:    x,
+				val:    1 - ctrl,
+				weight: dist[y],
+				seg:    segOf(y),
+			})
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].seg != objs[j].seg {
+			return objs[i].seg < objs[j].seg
+		}
+		if objs[i].weight != objs[j].weight {
+			return objs[i].weight > objs[j].weight
+		}
+		return objs[i].net < objs[j].net
+	})
+	return objs
+}
+
+// backtrace walks an objective (net, val) backwards to a decision
+// point: a fanout stem or a primary input whose class is still
+// undecided. At each gate it picks the input that can produce the
+// needed output value, preferring — per FAN — the hardest input for
+// "all inputs must cooperate" objectives (largest SCOAP cost) and the
+// easiest for "one input suffices" objectives (smallest SCOAP cost).
+// It reports ok = false when the chain dead-ends in already-decided
+// nets.
+func (v *Verifier) backtrace(sys *constraint.System, net circuit.NetID, val int) (circuit.NetID, int, bool) {
+	for hop := 0; hop < v.c.NumNets()+1; hop++ {
+		d := sys.Domain(net)
+		if _, known := d.KnownValue(); known {
+			return circuit.InvalidNet, 0, false // objective already decided
+		}
+		if d.Wave(val).IsEmpty() {
+			return circuit.InvalidNet, 0, false // objective unreachable
+		}
+		if v.c.Net(net).Driver == circuit.InvalidGate || v.c.IsStem(net) {
+			return net, val, true
+		}
+		g := v.c.Gate(v.c.Net(net).Driver)
+		switch {
+		case g.Type.Unate():
+			if g.Type == circuit.NOT {
+				val = 1 - val
+			}
+			net = g.Inputs[0]
+		case g.Type.Parity():
+			// Choose the first undecided input; the needed value is the
+			// parity residue assuming the others settle as decided (or
+			// 0 when unknown).
+			residue := val
+			if g.Type == circuit.XNOR {
+				residue ^= 1
+			}
+			var pick circuit.NetID = circuit.InvalidNet
+			for _, x := range g.Inputs {
+				if xv, known := sys.Domain(x).KnownValue(); known {
+					residue ^= xv
+				} else if pick == circuit.InvalidNet {
+					pick = x
+				}
+			}
+			if pick == circuit.InvalidNet {
+				return circuit.InvalidNet, 0, false
+			}
+			net, val = pick, residue
+		default:
+			ctrl, _ := g.Type.HasControlling()
+			want := val
+			if g.Type.Inverting() {
+				want = 1 - val
+			}
+			// want == ctrl needs ONE controlling input (easiest);
+			// want == non-ctrl needs ALL inputs non-controlling
+			// (decide the hardest first).
+			needed := ctrl
+			pickHardest := false
+			if want != ctrl {
+				needed = 1 - ctrl
+				pickHardest = true
+			}
+			var pick circuit.NetID = circuit.InvalidNet
+			var best int64
+			for _, x := range g.Inputs {
+				if _, known := sys.Domain(x).KnownValue(); known {
+					continue
+				}
+				if sys.Domain(x).Wave(needed).IsEmpty() {
+					continue
+				}
+				cost := v.cc.Cost(x, needed)
+				if pick == circuit.InvalidNet ||
+					(pickHardest && cost > best) || (!pickHardest && cost < best) {
+					pick, best = x, cost
+				}
+			}
+			if pick == circuit.InvalidNet {
+				return circuit.InvalidNet, 0, false
+			}
+			net, val = pick, needed
+		}
+	}
+	return circuit.InvalidNet, 0, false
+}

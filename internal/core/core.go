@@ -1,0 +1,385 @@
+// Package core assembles the paper's timing-verification engine: the
+// verify/evaluate loop of Figure 4 (waveform-narrowing fixpoint plus
+// dynamic-timing-dominator implications), static-learning application,
+// stem correlation, the FAN-derived case analysis of Section 5, and
+// exact floating-mode delay computation on top of the timing check.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/constraint"
+	"repro/internal/delay"
+	"repro/internal/dom"
+	"repro/internal/learn"
+	"repro/internal/scoap"
+	"repro/internal/sim"
+	"repro/internal/waveform"
+)
+
+// Result is the verdict of a timing check or one of its stages.
+type Result int
+
+const (
+	// PossibleViolation: the constraint system is still consistent; a
+	// violation has not been ruled out (the paper's "P").
+	PossibleViolation Result = iota
+	// NoViolation: proven — the output cannot transition at or after δ
+	// (the paper's "N").
+	NoViolation
+	// ViolationFound: case analysis produced a test vector witnessing
+	// the violation (the paper's "V").
+	ViolationFound
+	// Abandoned: case analysis exceeded the backtrack budget (the
+	// paper's "A").
+	Abandoned
+	// StageSkipped: the stage was not needed (the paper's "-").
+	StageSkipped
+)
+
+// String renders the paper's single-letter codes.
+func (r Result) String() string {
+	switch r {
+	case PossibleViolation:
+		return "P"
+	case NoViolation:
+		return "N"
+	case ViolationFound:
+		return "V"
+	case Abandoned:
+		return "A"
+	case StageSkipped:
+		return "-"
+	}
+	return "?"
+}
+
+// Options configure the verifier stages.
+type Options struct {
+	// UseDominators enables the dynamic-timing-dominator implications
+	// (Section 4). On by default in Default().
+	UseDominators bool
+	// UseStaticDominators additionally applies the Lemma-3 narrowing
+	// once per check from the static timing dominators (purely
+	// structural, cheaper but weaker than the dynamic ones; useful for
+	// the ablation study — Default() leaves it off because the dynamic
+	// dominators subsume it after the first fixpoint).
+	UseStaticDominators bool
+	// UseLearning enables static-learning implications (Section 4).
+	UseLearning bool
+	// UseStemCorrelation enables the reconvergent-stem correlation
+	// preprocessing of Section 5.
+	UseStemCorrelation bool
+	// MaxBacktracks bounds the case analysis; beyond it the check is
+	// Abandoned.
+	MaxBacktracks int
+	// MaxStemSplits caps the number of stems correlated per check
+	// (carrier stems first, then side-condition stems, deepest first).
+	// 0 means unlimited.
+	MaxStemSplits int
+}
+
+// Default returns the full configuration used for the paper's results.
+func Default() Options {
+	return Options{
+		UseDominators:      true,
+		UseLearning:        true,
+		UseStemCorrelation: true,
+		MaxBacktracks:      200000,
+		MaxStemSplits:      64,
+	}
+}
+
+// Verifier holds per-circuit preprocessing shared across checks.
+type Verifier struct {
+	c    *circuit.Circuit
+	opts Options
+
+	analysis *delay.Analysis
+	cc       *scoap.Controllability
+	table    *learn.Table    // nil unless UseLearning
+	stems    []circuit.NetID // cached reconvergent fanout stems
+}
+
+// NewVerifier prepares a verifier for the circuit (computing arrival
+// times, SCOAP controllabilities, and — if enabled — the static
+// learning table).
+func NewVerifier(c *circuit.Circuit, opts Options) *Verifier {
+	v := &Verifier{c: c, opts: opts, analysis: delay.New(c), cc: scoap.Compute(c)}
+	v.stems = c.ReconvergentStems()
+	if opts.UseLearning {
+		v.table = learn.Precompute(c)
+	}
+	return v
+}
+
+// Circuit returns the verifier's netlist.
+func (v *Verifier) Circuit() *circuit.Circuit { return v.c }
+
+// Topological returns the circuit's topological delay.
+func (v *Verifier) Topological() waveform.Time { return v.analysis.Topological() }
+
+// Report describes one timing check's outcome stage by stage, matching
+// the columns of Table 1.
+type Report struct {
+	Sink  circuit.NetID
+	Delta waveform.Time
+
+	// BeforeGITD is the verdict of the plain constraint evaluation
+	// (column "BEFORE G.I.T.D.").
+	BeforeGITD Result
+	// AfterGITD is the verdict after global implications on timing
+	// dominators and learning (column "AFTER G.I.T.D.").
+	AfterGITD Result
+	// AfterStem is the verdict after stem correlation (column "AFTER
+	// STEM C.").
+	AfterStem Result
+	// Backtracks is the case-analysis backtrack count (column "C.A.
+	// #BTRCK").
+	Backtracks int
+	// CaseAnalysis is the case-analysis verdict (column "C.A. RESULT").
+	CaseAnalysis Result
+	// Final is the overall verdict of the check.
+	Final Result
+
+	// Witness is the violating input vector when Final ==
+	// ViolationFound, with its simulated settle time.
+	Witness       sim.Vector
+	WitnessSettle waveform.Time
+
+	// Dominators is the number of dynamic timing dominators seen on the
+	// first dominator round (the c1908 anecdote statistic).
+	Dominators int
+	// DominatorRounds counts evaluate-loop iterations that applied
+	// dominator narrowing.
+	DominatorRounds int
+	// Propagations counts gate-constraint applications.
+	Propagations int64
+	// Elapsed is the wall-clock time of the check.
+	Elapsed time.Duration
+}
+
+// Check runs the full pipeline of the paper on the timing check
+// (sink, δ): plain fixpoint, dominator implications, stem correlation,
+// then case analysis, stopping as soon as a stage proves NoViolation.
+func (v *Verifier) Check(sink circuit.NetID, delta waveform.Time) *Report {
+	start := time.Now()
+	rep := &Report{
+		Sink: sink, Delta: delta,
+		AfterGITD: StageSkipped, AfterStem: StageSkipped, CaseAnalysis: StageSkipped,
+		Backtracks: -1,
+	}
+	sys := constraint.New(v.c)
+	sys.Narrow(sink, waveform.CheckOutput(delta))
+	sys.ScheduleAll()
+	if v.opts.UseStaticDominators {
+		doms := dom.Static(v.c, v.analysis, sink, delta)
+		dom.NarrowDominators(sys, doms, delta)
+	}
+
+	// Stage 1: plain constraint evaluation.
+	if !sys.Fixpoint() {
+		rep.BeforeGITD = NoViolation
+		rep.Final = NoViolation
+		rep.Propagations = sys.Propagations
+		rep.Elapsed = time.Since(start)
+		return rep
+	}
+	rep.BeforeGITD = PossibleViolation
+
+	// Stage 2: global implications (dominators + learning).
+	if v.opts.UseDominators || v.opts.UseLearning {
+		if v.evaluate(sys, sink, delta, rep) == NoViolation {
+			rep.AfterGITD = NoViolation
+			rep.Final = NoViolation
+			rep.Propagations = sys.Propagations
+			rep.Elapsed = time.Since(start)
+			return rep
+		}
+		rep.AfterGITD = PossibleViolation
+	}
+
+	// Stage 3: stem correlation.
+	if v.opts.UseStemCorrelation {
+		if v.stemCorrelation(sys, sink, delta, rep) == NoViolation {
+			rep.AfterStem = NoViolation
+			rep.Final = NoViolation
+			rep.Propagations = sys.Propagations
+			rep.Elapsed = time.Since(start)
+			return rep
+		}
+		rep.AfterStem = PossibleViolation
+	}
+
+	// Stage 4: case analysis.
+	res := v.caseAnalysis(sys, sink, delta, rep)
+	rep.CaseAnalysis = res
+	rep.Final = res
+	rep.Propagations = sys.Propagations
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// VerifyOnly runs the verify() procedure of Figure 4 — fixpoint plus
+// dominator implications, no case analysis — and returns NoViolation or
+// PossibleViolation.
+func (v *Verifier) VerifyOnly(sink circuit.NetID, delta waveform.Time) Result {
+	sys := constraint.New(v.c)
+	sys.Narrow(sink, waveform.CheckOutput(delta))
+	sys.ScheduleAll()
+	rep := &Report{}
+	return v.evaluate(sys, sink, delta, rep)
+}
+
+// evaluate is the evaluate() loop of Figure 4 extended with learning:
+// reach the fixpoint; on consistency apply learned implications and
+// dominator narrowing; repeat until nothing changes.
+func (v *Verifier) evaluate(sys *constraint.System, sink circuit.NetID, delta waveform.Time, rep *Report) Result {
+	for {
+		if !sys.Fixpoint() {
+			return NoViolation
+		}
+		changed := false
+		if v.opts.UseLearning && v.table != nil {
+			if v.table.Apply(sys) {
+				changed = true
+			}
+		}
+		if v.opts.UseDominators {
+			doms := dom.Dynamic(sys, sink, delta)
+			if rep.Dominators == 0 {
+				rep.Dominators = len(doms.Nets)
+			}
+			if dom.NarrowDominators(sys, doms, delta) {
+				changed = true
+				rep.DominatorRounds++
+			}
+		}
+		if !changed {
+			return PossibleViolation
+		}
+	}
+}
+
+// stemCorrelation performs the Section-5 preprocessing: for every
+// reconvergent fanout stem relevant to the check, evaluate both class
+// restrictions of the stem and replace every domain by the union of
+// the two branch results. A stem whose branches are both inconsistent
+// refutes the check.
+//
+// Fidelity note: the paper correlates stems "that are dynamic
+// carriers". We widen the selection to stems whose transitive fanout
+// reaches a dynamic carrier — side-condition stems whose value gates
+// the carrier paths without ever carrying the late transition
+// themselves (the e3-style conflicts of Figure 1, distributed over
+// reconvergent branches, are only refutable this way). The widening is
+// sound (each branch evaluation is) and only costs extra splits.
+func (v *Verifier) stemCorrelation(sys *constraint.System, sink circuit.NetID, delta waveform.Time, rep *Report) Result {
+	allStems := v.stems
+	if len(allStems) == 0 {
+		return PossibleViolation
+	}
+	carrier, _ := dom.DynamicCarriers(sys, sink, delta)
+	influence := influenceMask(v.c, carrier)
+	// Order: carrier stems first (the paper's criterion), then
+	// side-condition stems; deepest first within each group. A budget
+	// caps the splits so wide circuits stay tractable.
+	stems := append([]circuit.NetID(nil), allStems...)
+	sort.Slice(stems, func(i, j int) bool {
+		ci, cj := carrier[stems[i]], carrier[stems[j]]
+		if ci != cj {
+			return ci
+		}
+		li, lj := v.c.Level(stems[i]), v.c.Level(stems[j])
+		if li != lj {
+			return li > lj
+		}
+		return stems[i] < stems[j]
+	})
+	splits := 0
+	n := v.c.NumNets()
+	branch := make([]waveform.Signal, n)
+	for _, stem := range stems {
+		if !influence[stem] {
+			continue
+		}
+		if v.opts.MaxStemSplits > 0 && splits >= v.opts.MaxStemSplits {
+			break
+		}
+		d := sys.Domain(stem)
+		if _, known := d.KnownValue(); known {
+			continue
+		}
+		splits++
+		// Branch 0.
+		sys.Mark()
+		sys.Narrow(stem, waveform.SettledTo(0))
+		ok0 := v.evaluate(sys, sink, delta, rep) == PossibleViolation
+		if ok0 {
+			for i := 0; i < n; i++ {
+				branch[i] = sys.Domain(circuit.NetID(i))
+			}
+		}
+		sys.Undo()
+		// Branch 1.
+		sys.Mark()
+		sys.Narrow(stem, waveform.SettledTo(1))
+		ok1 := v.evaluate(sys, sink, delta, rep) == PossibleViolation
+		switch {
+		case !ok0 && !ok1:
+			sys.Undo()
+			// Both branches refuted: the check is impossible.
+			sys.Narrow(sink, waveform.EmptySignal)
+			return NoViolation
+		case ok0 && !ok1:
+			sys.Undo()
+			for i := 0; i < n; i++ {
+				sys.Narrow(circuit.NetID(i), branch[i])
+			}
+		case !ok0 && ok1:
+			for i := 0; i < n; i++ {
+				branch[i] = sys.Domain(circuit.NetID(i))
+			}
+			sys.Undo()
+			for i := 0; i < n; i++ {
+				sys.Narrow(circuit.NetID(i), branch[i])
+			}
+		default:
+			// Union of the two branch domains.
+			for i := 0; i < n; i++ {
+				branch[i] = branch[i].Union(sys.Domain(circuit.NetID(i)))
+			}
+			sys.Undo()
+			for i := 0; i < n; i++ {
+				sys.Narrow(circuit.NetID(i), branch[i])
+			}
+		}
+		if v.evaluate(sys, sink, delta, rep) == NoViolation {
+			return NoViolation
+		}
+		// Refresh carrier information for subsequent stems.
+		carrier, _ = dom.DynamicCarriers(sys, sink, delta)
+		influence = influenceMask(v.c, carrier)
+	}
+	return PossibleViolation
+}
+
+// influenceMask marks nets whose transitive fanout (including the net
+// itself) contains a carrier net.
+func influenceMask(c *circuit.Circuit, carrier []bool) []bool {
+	inf := make([]bool, len(carrier))
+	copy(inf, carrier)
+	topo := c.TopoGates()
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := c.Gate(topo[i])
+		if !inf[g.Output] {
+			continue
+		}
+		for _, in := range g.Inputs {
+			inf[in] = true
+		}
+	}
+	return inf
+}

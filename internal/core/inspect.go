@@ -1,0 +1,31 @@
+package core
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/constraint"
+	"repro/internal/waveform"
+)
+
+// SystemAfterFixpoint builds the constraint system of the timing check
+// (sink, δ), runs the plain fixpoint, and returns it for inspection
+// (dominator analysis, domain dumps). The verifier's acceleration
+// options are deliberately not applied — the caller gets the state the
+// paper's examples print after the basic evaluation.
+func (v *Verifier) SystemAfterFixpoint(sink circuit.NetID, delta waveform.Time) *constraint.System {
+	sys := constraint.New(v.c)
+	sys.Narrow(sink, waveform.CheckOutput(delta))
+	sys.ScheduleAll()
+	sys.Fixpoint()
+	return sys
+}
+
+// DomainsAfterFixpoint returns a copy of every net's domain after the
+// plain fixpoint of the check (sink, δ), indexed by NetID.
+func (v *Verifier) DomainsAfterFixpoint(sink circuit.NetID, delta waveform.Time) []waveform.Signal {
+	sys := v.SystemAfterFixpoint(sink, delta)
+	out := make([]waveform.Signal, v.c.NumNets())
+	for i := range out {
+		out[i] = sys.Domain(circuit.NetID(i))
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/waveform"
+)
+
+func TestWitnessPathHrapcenko(t *testing.T) {
+	c := gen.Hrapcenko(10)
+	s, _ := c.NetByName("s")
+	v := NewVerifier(c, Default())
+	rep := v.Check(s, 60)
+	if rep.Final != ViolationFound {
+		t.Fatal("need a witness")
+	}
+	path, err := v.WitnessPath(s, rep.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) == 0 || path[len(path)-1] != s {
+		t.Fatal("path must end at the sink")
+	}
+	if !c.Net(path[0]).IsPI {
+		t.Fatalf("path must start at a PI, starts at %s", c.Net(path[0]).Name)
+	}
+	// Settle times must be non-decreasing along the path and end at the
+	// witnessed settle time.
+	r, _ := sim.Run(c, rep.Witness)
+	prev := waveform.NegInf
+	for _, n := range path {
+		if r.Settle[n] < prev {
+			t.Fatalf("settle times decrease along the path at %s", c.Net(n).Name)
+		}
+		prev = r.Settle[n]
+	}
+	if r.Settle[s] != rep.WitnessSettle || prev != rep.WitnessSettle {
+		t.Fatal("path must realise the witnessed settle time")
+	}
+	// On the Hrapcenko witness, the path length (in gates) is 6, not 7:
+	// the 7-gate topological path is false.
+	if len(path)-1 == 7 {
+		t.Fatal("witness path must not be the false 7-gate path")
+	}
+}
+
+func TestWitnessPathStructure(t *testing.T) {
+	// Path edges must be real gate connections, on several circuits.
+	for _, c := range []*circuit.Circuit{gen.C17(10), gen.CarrySkipAdder(6, 3, 10)} {
+		v := NewVerifier(c, Default())
+		for _, po := range c.PrimaryOutputs() {
+			res, err := v.ExactFloatingDelay(po)
+			if err != nil || !res.Exact {
+				t.Fatalf("exact delay: %v %+v", err, res)
+			}
+			if res.Delay < 0 {
+				continue
+			}
+			path, err := v.WitnessPath(po, res.Witness)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(path); i++ {
+				g := c.Gate(c.Net(path[i]).Driver)
+				ok := false
+				for _, in := range g.Inputs {
+					if in == path[i-1] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("path edge %d not a gate connection", i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/waveform"
+)
+
+func c17(t testing.TB) *circuit.Circuit {
+	t.Helper()
+	src := `
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+	c, err := circuit.ParseBenchString(src, circuit.BenchOptions{DefaultDelay: 10, Name: "c17"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func id(t testing.TB, c *circuit.Circuit, name string) circuit.NetID {
+	t.Helper()
+	n, ok := c.NetByName(name)
+	if !ok {
+		t.Fatalf("no net %q", name)
+	}
+	return n
+}
+
+func TestArrivalC17(t *testing.T) {
+	c := c17(t)
+	a := New(c)
+	want := map[string]waveform.Time{
+		"G1": 0, "G2": 0, "G3": 0, "G6": 0, "G7": 0,
+		"G10": 10, "G11": 10, "G16": 20, "G19": 20, "G22": 30, "G23": 30,
+	}
+	for name, w := range want {
+		if got := a.Arrival(id(t, c, name)); got != w {
+			t.Errorf("arrival(%s) = %s, want %s", name, got, w)
+		}
+	}
+	if a.Topological() != 30 {
+		t.Fatalf("top = %s, want 30", a.Topological())
+	}
+}
+
+func TestToNet(t *testing.T) {
+	c := c17(t)
+	d := ToNet(c, id(t, c, "G22"))
+	want := map[string]waveform.Time{
+		"G22": 0, "G10": 10, "G16": 10, "G11": 20, "G2": 20,
+		"G1": 20, "G3": 30, "G6": 30,
+	}
+	for name, w := range want {
+		if got := d[id(t, c, name)]; got != w {
+			t.Errorf("toNet(%s→G22) = %s, want %s", name, got, w)
+		}
+	}
+	for _, name := range []string{"G7", "G19", "G23"} {
+		if got := d[id(t, c, name)]; got != waveform.NegInf {
+			t.Errorf("toNet(%s→G22) = %s, want -inf (no path)", name, got)
+		}
+	}
+}
+
+func TestSTARun(t *testing.T) {
+	c := c17(t)
+	s := Run(c, 25)
+	if len(s.OutputArrival) != 2 || s.OutputArrival[0] != 30 || s.OutputArrival[1] != 30 {
+		t.Fatalf("arrivals = %v", s.OutputArrival)
+	}
+	if s.OutputSlack[0] != -5 {
+		t.Fatalf("slack = %v", s.OutputSlack)
+	}
+	// Critical path: from a PI to the worst PO, consistent arrivals.
+	cp := s.CriticalPath
+	if len(cp) == 0 {
+		t.Fatal("no critical path")
+	}
+	first, last := c.Net(cp[0]), c.Net(cp[len(cp)-1])
+	if !first.IsPI {
+		t.Fatalf("critical path must start at a PI, starts at %s", first.Name)
+	}
+	if !last.IsPO {
+		t.Fatalf("critical path must end at a PO, ends at %s", last.Name)
+	}
+	a := New(c)
+	for i := 1; i < len(cp); i++ {
+		g := c.Gate(c.Net(cp[i]).Driver)
+		if a.Arrival(cp[i-1]).Add(waveform.Time(g.Delay)) != a.Arrival(cp[i]) {
+			t.Fatalf("critical path arrival inconsistent at %s", c.Net(cp[i]).Name)
+		}
+	}
+	if a.Arrival(cp[len(cp)-1]) != 30 {
+		t.Fatal("critical path must realise the topological delay")
+	}
+}
+
+func TestStaticCarrierMask(t *testing.T) {
+	c := c17(t)
+	a := New(c)
+	g22 := id(t, c, "G22")
+	// δ = 30: only nets on a full-length (30) path through G22 qualify.
+	mask := StaticCarrierMask(c, a, g22, 30)
+	wantTrue := []string{"G3", "G6", "G11", "G16", "G22"}
+	for _, n := range wantTrue {
+		if !mask[id(t, c, n)] {
+			t.Errorf("%s must be a static carrier at δ=30", n)
+		}
+	}
+	// G2's longest path through G22 is 0 + 20 = 20 < 30.
+	for _, n := range []string{"G1", "G2", "G10"} {
+		if mask[id(t, c, n)] {
+			t.Errorf("%s (longest path 20) must not be a static carrier at δ=30", n)
+		}
+	}
+	if mask[id(t, c, "G23")] || mask[id(t, c, "G19")] || mask[id(t, c, "G7")] {
+		t.Error("nets with no path to G22 must not be carriers")
+	}
+	// δ = 20: G1 and G10 (path length 20 via G1→G10→G22) now qualify.
+	mask20 := StaticCarrierMask(c, a, g22, 20)
+	for _, n := range []string{"G1", "G10", "G2", "G16"} {
+		if !mask20[id(t, c, n)] {
+			t.Errorf("%s must be a static carrier at δ=20", n)
+		}
+	}
+	// δ beyond top: nothing qualifies.
+	mask99 := StaticCarrierMask(c, a, g22, 99)
+	for i := range mask99 {
+		if mask99[i] {
+			t.Fatalf("no net can carry a 99-long path, but %s does", c.Net(circuit.NetID(i)).Name)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package dom implements the global timing implications of Section 4
+// of the paper: static carriers and static timing dominators
+// (Definitions 4–6, Lemma 3) and dynamic carriers, dynamic distances
+// and dynamic timing dominators (Definitions 7–9, Theorem 3,
+// Corollary 1). Dominators are the nets lying on every
+// sufficiently-long path to the checked output; their domains can be
+// narrowed to waveforms that still transition late enough, which is the
+// paper's main weapon against the pessimism of local narrowing.
+package dom
+
+import (
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/constraint"
+	"repro/internal/delay"
+	"repro/internal/waveform"
+)
+
+// Dominators lists the timing dominators of a check in order from the
+// checked output towards the inputs, with the distance bound used for
+// Corollary-1 narrowing: waveforms on Nets[i] stable at and after
+// (δ − Dist[i]) are σ-incompatible.
+type Dominators struct {
+	Nets []circuit.NetID
+	Dist []waveform.Time
+}
+
+// dominatorsOfT computes the dominators of the terminal vertex T in the
+// carrier DAG Ψ′ (Definition 6): vertices are the carrier nets plus T,
+// edges run from each gate output to its carrier inputs, and every
+// carrier with no carrier predecessor (primary inputs of Ψ) feeds T.
+// The result is the idom chain of T excluding T itself, i.e. the nets
+// on every path from the source (the checked output) to T, ordered from
+// the source down.
+func dominatorsOfT(c *circuit.Circuit, carrier []bool, sink circuit.NetID) []circuit.NetID {
+	if !carrier[sink] {
+		return nil
+	}
+	// Order carrier nets topologically for Ψ′: decreasing circuit
+	// level puts the sink first and every edge y→x forward.
+	var verts []circuit.NetID
+	for n := range carrier {
+		if carrier[n] {
+			verts = append(verts, circuit.NetID(n))
+		}
+	}
+	sort.Slice(verts, func(i, j int) bool {
+		li, lj := c.Level(verts[i]), c.Level(verts[j])
+		if li != lj {
+			return li > lj
+		}
+		return verts[i] < verts[j]
+	})
+	if verts[0] != sink {
+		// The sink must be the unique source of Ψ′; carriers outside
+		// its fan-in cone would violate the construction.
+		return nil
+	}
+	const tVertex = -1 // ord position of T is len(verts); idom index -1 = unset
+	ord := make([]int32, len(carrier))
+	for i, v := range verts {
+		ord[v] = int32(i)
+	}
+	nT := len(verts) // T's position
+	idom := make([]int, len(verts)+1)
+	for i := range idom {
+		idom[i] = tVertex
+	}
+	idom[0] = 0 // source's idom is itself
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for a > b {
+				a = idom[a]
+			}
+			for b > a {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	// Predecessors in Ψ′ of a carrier net x: the carrier outputs of the
+	// gates x feeds. Predecessors of T: carriers with no carrier
+	// gate-input (primary inputs of Ψ and conservative dead ends).
+	var tPreds []int
+	for i := 1; i < len(verts); i++ {
+		x := verts[i]
+		best := tVertex
+		for _, g := range c.Net(x).Fanout {
+			y := c.Gate(g).Output
+			if !carrier[y] {
+				continue
+			}
+			p := int(ord[y])
+			if idom[p] == tVertex && p != 0 {
+				continue // unreachable from the source; skip
+			}
+			if best == tVertex {
+				best = p
+			} else {
+				best = intersect(best, p)
+			}
+		}
+		idom[i] = best
+	}
+	for i, x := range verts {
+		hasCarrierInput := false
+		if d := c.Net(x).Driver; d != circuit.InvalidGate {
+			for _, in := range c.Gate(d).Inputs {
+				if carrier[in] {
+					hasCarrierInput = true
+					break
+				}
+			}
+		}
+		if !hasCarrierInput {
+			if i == 0 || idom[i] != tVertex {
+				tPreds = append(tPreds, i)
+			}
+		}
+	}
+	if len(tPreds) == 0 {
+		return nil
+	}
+	best := tPreds[0]
+	for _, p := range tPreds[1:] {
+		best = intersect(best, p)
+	}
+	idom[nT] = best
+
+	// Walk T's idom chain up to the source.
+	var doms []circuit.NetID
+	for v := idom[nT]; ; v = idom[v] {
+		doms = append(doms, verts[v])
+		if v == 0 {
+			break
+		}
+	}
+	// Reverse to source-first order.
+	for i, j := 0, len(doms)-1; i < j; i, j = i+1, j-1 {
+		doms[i], doms[j] = doms[j], doms[i]
+	}
+	return doms
+}
+
+// Static computes the static timing dominators of the check
+// (c, sink, δ) with the Lemma-3 distance bound top_{d→s}.
+func Static(c *circuit.Circuit, a *delay.Analysis, sink circuit.NetID, delta waveform.Time) Dominators {
+	carrier := delay.StaticCarrierMask(c, a, sink, delta)
+	nets := dominatorsOfT(c, carrier, sink)
+	toSink := delay.ToNet(c, sink)
+	d := Dominators{Nets: nets}
+	for _, n := range nets {
+		d.Dist = append(d.Dist, toSink[n])
+	}
+	return d
+}
+
+// StaticCarriers exposes the static carrier mask (Definition 4) for
+// reports and tests.
+func StaticCarriers(c *circuit.Circuit, a *delay.Analysis, sink circuit.NetID, delta waveform.Time) []bool {
+	return delay.StaticCarrierMask(c, a, sink, delta)
+}
+
+// DynamicCarriers computes the dynamic carriers of the check and their
+// dynamic distances from the current domains of the constraint system
+// (Definitions 7–8): a net qualifies through gate g feeding carrier y
+// at distance k when its domain still contains waveforms with a
+// transition at or after δ − (k + d_max(g)); its dynamic distance is
+// the largest such k′.
+func DynamicCarriers(sys *constraint.System, sink circuit.NetID, delta waveform.Time) (mask []bool, dist []waveform.Time) {
+	c := sys.Circuit()
+	return DynamicCarriersInto(make([]bool, c.NumNets()), make([]waveform.Time, c.NumNets()), sys, sink, delta)
+}
+
+// DynamicCarriersInto is DynamicCarriers writing into caller-provided
+// slices (len == NumNets), for allocation-free inner loops.
+func DynamicCarriersInto(mask []bool, dist []waveform.Time, sys *constraint.System, sink circuit.NetID, delta waveform.Time) ([]bool, []waveform.Time) {
+	c := sys.Circuit()
+	for i := range mask {
+		mask[i] = false
+	}
+	for i := range dist {
+		dist[i] = waveform.NegInf
+	}
+	if sys.Domain(sink).IsEmpty() {
+		return mask, dist
+	}
+	mask[sink] = true
+	dist[sink] = 0
+	topo := c.TopoGates()
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := c.Gate(topo[i])
+		y := g.Output
+		if !mask[y] {
+			continue
+		}
+		kp := dist[y].Add(waveform.Time(g.Delay))
+		for _, x := range g.Inputs {
+			if dist[x] >= kp {
+				continue
+			}
+			if sys.Domain(x).HasTransitionAtOrAfter(delta.Sub(kp)) {
+				mask[x] = true
+				dist[x] = kp
+			}
+		}
+	}
+	return mask, dist
+}
+
+// Dynamic computes the dynamic timing dominators of the check under the
+// system's current domains, with the Theorem-3 distance bound (the
+// dynamic distance).
+func Dynamic(sys *constraint.System, sink circuit.NetID, delta waveform.Time) Dominators {
+	mask, dist := DynamicCarriers(sys, sink, delta)
+	return FromCarriers(sys.Circuit(), mask, dist, sink)
+}
+
+// FromCarriers computes the timing dominators from an already-computed
+// carrier mask and distance vector (avoids recomputing the carriers
+// when the caller has them).
+func FromCarriers(c *circuit.Circuit, mask []bool, dist []waveform.Time, sink circuit.NetID) Dominators {
+	nets := dominatorsOfT(c, mask, sink)
+	d := Dominators{Nets: nets}
+	for _, n := range nets {
+		d.Dist = append(d.Dist, dist[n])
+	}
+	return d
+}
+
+// NarrowDominators applies Corollary 1: for every dominator d at
+// distance k, intersect its domain with waveforms transitioning at or
+// after δ − k. It reports whether any domain changed (callers then
+// resume the fixpoint).
+func NarrowDominators(sys *constraint.System, doms Dominators, delta waveform.Time) bool {
+	changed := false
+	for i, n := range doms.Nets {
+		cut := delta.Sub(doms.Dist[i])
+		if sys.Narrow(n, waveform.CheckOutput(cut)) {
+			changed = true
+		}
+	}
+	return changed
+}

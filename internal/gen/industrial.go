@@ -1,0 +1,135 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// Industrial builds a hierarchical seeded netlist mixing the block
+// types real designs are made of — ripple and carry-skip adder
+// segments, parity trees, comparators, mux networks with shared
+// selects, and an occasional false-path gadget — wired so later blocks
+// consume earlier blocks' outputs. It is the stress workload used by
+// the soak tests and throughput benchmarks: big enough to exercise
+// every engine stage, deterministic per seed.
+func Industrial(seed int64, blocks int, d int64) *circuit.Circuit {
+	if blocks < 1 {
+		panic("gen: Industrial needs blocks ≥ 1")
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder(fmt.Sprintf("industrial%d_%d", seed, blocks))
+
+	// pool of nets later blocks may consume
+	var pool []string
+	freshPI := func(prefix string, i int) string {
+		n := fmt.Sprintf("%s%d", prefix, i)
+		b.Input(n)
+		return n
+	}
+	pick := func(prefix string, i int) string {
+		if len(pool) == 0 || r.Intn(3) == 0 {
+			return freshPI(prefix, i)
+		}
+		return pool[r.Intn(len(pool))]
+	}
+	piSeq := 0
+	nextName := func(base string) string {
+		piSeq++
+		return fmt.Sprintf("%s_%d", base, piSeq)
+	}
+
+	for blk := 0; blk < blocks; blk++ {
+		p := fmt.Sprintf("b%d", blk)
+		switch r.Intn(5) {
+		case 0: // ripple adder segment
+			width := 2 + r.Intn(3)
+			carry := pick(p+"_cin", piSeq)
+			for i := 0; i < width; i++ {
+				a := pick(p+"_a", piSeq+i)
+				x := pick(p+"_b", piSeq+width+i)
+				sum, cout := fullAdder(b, d, fmt.Sprintf("%s_fa%d", p, i), a, x, carry)
+				pool = append(pool, sum)
+				carry = cout
+			}
+			pool = append(pool, carry)
+		case 1: // parity tree
+			width := 3 + r.Intn(4)
+			layer := make([]string, width)
+			for i := range layer {
+				layer[i] = pick(p+"_x", piSeq+i)
+			}
+			lvl := 0
+			for len(layer) > 1 {
+				var next []string
+				for i := 0; i+1 < len(layer); i += 2 {
+					o := fmt.Sprintf("%s_t%d_%d", p, lvl, i/2)
+					b.Gate(circuit.XOR, d, o, layer[i], layer[i+1])
+					next = append(next, o)
+				}
+				if len(layer)%2 == 1 {
+					next = append(next, layer[len(layer)-1])
+				}
+				layer, lvl = next, lvl+1
+			}
+			pool = append(pool, layer[0])
+		case 2: // equality chain
+			width := 2 + r.Intn(3)
+			var cur string
+			for i := 0; i < width; i++ {
+				e := fmt.Sprintf("%s_eq%d", p, i)
+				b.Gate(circuit.XNOR, d, e, pick(p+"_l", piSeq+i), pick(p+"_r", piSeq+width+i))
+				if cur == "" {
+					cur = e
+					continue
+				}
+				o := fmt.Sprintf("%s_and%d", p, i)
+				b.Gate(circuit.AND, d, o, cur, e)
+				cur = o
+			}
+			pool = append(pool, cur)
+		case 3: // mux network with a shared select
+			sel := pick(p+"_sel", piSeq)
+			nsel := nextName(p + "_nsel")
+			b.Gate(circuit.NOT, d, nsel, sel)
+			for i := 0; i < 2+r.Intn(2); i++ {
+				m1 := nextName(p + "_m1")
+				m0 := nextName(p + "_m0")
+				o := nextName(p + "_mux")
+				b.Gate(circuit.AND, d, m1, sel, pick(p+"_d1", piSeq+i))
+				b.Gate(circuit.AND, d, m0, nsel, pick(p+"_d0", piSeq+8+i))
+				b.Gate(circuit.OR, d, o, m1, m0)
+				pool = append(pool, o)
+			}
+		default: // NAND/NOR cloud
+			for i := 0; i < 4+r.Intn(4); i++ {
+				gt := circuit.NAND
+				if r.Intn(2) == 0 {
+					gt = circuit.NOR
+				}
+				o := nextName(p + "_g")
+				b.Gate(gt, d, o, pick(p+"_u", piSeq+i), pick(p+"_v", piSeq+16+i))
+				pool = append(pool, o)
+			}
+		}
+	}
+	// Expose the last few pool nets as outputs (deduplicated; a pool
+	// net may appear twice, and a primary input drawn from the pool
+	// must not be re-declared as an output of the DAG sweep below).
+	outs := 0
+	seen := map[string]bool{}
+	for i := len(pool) - 1; i >= 0 && outs < 4; i-- {
+		if seen[pool[i]] {
+			continue
+		}
+		seen[pool[i]] = true
+		b.Output(pool[i])
+		outs++
+	}
+	c, err := b.Build()
+	if err != nil {
+		panic("gen: Industrial: " + err.Error())
+	}
+	return c
+}

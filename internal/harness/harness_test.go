@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestCircuitRowsC17(t *testing.T) {
+	c := gen.C17(10)
+	rows := CircuitRows("c17", c, 100000)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	high, low := rows[0], rows[1]
+	if high.Delta != 31 || low.Delta != 30 {
+		t.Fatalf("deltas %s/%s, want 31/30", high.Delta, low.Delta)
+	}
+	if high.BeforeGITD != core.NoViolation {
+		t.Fatalf("c17 δ=31 must be refuted by plain narrowing, got %s", high.BeforeGITD)
+	}
+	if low.CAResult != core.ViolationFound || !low.Exact {
+		t.Fatalf("c17 δ=30 must be witnessed exactly: %+v", low)
+	}
+	if high.Top != 30 || low.Gates != 6 {
+		t.Fatal("row metadata wrong")
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	c := gen.C17(10)
+	rows := CircuitRows("c17", c, 100000)
+	var sb strings.Builder
+	RenderTable1(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"CIRCUIT", "BEFORE G.I.T.D.", "c17", "30 E"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	c := gen.C17(10)
+	rows := CircuitRows("c17", c, 100000)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("got %d rows", len(decoded))
+	}
+	if decoded[0]["circuit"] != "c17" || decoded[0]["beforeGITD"] != "N" {
+		t.Fatalf("row content wrong: %+v", decoded[0])
+	}
+	if decoded[1]["exact"] != true || decoded[1]["caseAnalysis"] != "V" {
+		t.Fatalf("row content wrong: %+v", decoded[1])
+	}
+}
+
+func TestExample2Harness(t *testing.T) {
+	tr := Example2()
+	if !tr.RefutedAt61 {
+		t.Fatal("δ=61 must be refuted by plain narrowing")
+	}
+	if tr.Top != 70 || tr.Floating != 60 {
+		t.Fatalf("top/floating = %s/%s, want 70/60", tr.Top, tr.Floating)
+	}
+	if tr.WitnessSettle != 60 {
+		t.Fatalf("witness settle = %s", tr.WitnessSettle)
+	}
+	if len(tr.DomainsAt60) == 0 || tr.DomainsAt60["s"] == "" {
+		t.Fatal("domain dump missing")
+	}
+	var sb strings.Builder
+	RenderExample2(&sb, tr)
+	if !strings.Contains(sb.String(), "floating delay: 60") {
+		t.Fatalf("render missing delay:\n%s", sb.String())
+	}
+}
+
+func TestExample2Propagation(t *testing.T) {
+	steps := Example2Propagation()
+	if len(steps) < 10 {
+		t.Fatalf("expected a full propagation listing, got %d steps", len(steps))
+	}
+	// The listing must contain the paper's hallmark narrowings.
+	joined := strings.Join(steps, "\n")
+	for _, want := range []string{
+		"n7  (0|-inf^60, 1|51^60) → (0|51^60, 1|51^60)", // last-transition interval reaches n7
+		"→ (0|-inf^50, φ)",                              // n5's controlling class removed
+		"(φ, φ)",                                        // the final contradiction
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("propagation listing missing %q:\n%s", want, joined)
+		}
+	}
+	// The final step must empty a domain (that is how δ=61 is refuted).
+	if !strings.Contains(steps[len(steps)-1], "(φ, φ)") {
+		t.Fatalf("last step must be the contradiction, got %q", steps[len(steps)-1])
+	}
+}
+
+func TestCarrySkipHarness(t *testing.T) {
+	ex := CarrySkip(8, 4, 100000)
+	if !ex.Exact {
+		t.Fatal("8-bit carry-skip delay must be exact")
+	}
+	if ex.Floating >= ex.Top {
+		t.Fatalf("false path missing: floating %s vs top %s", ex.Floating, ex.Top)
+	}
+	if ex.RefuteStage == "" {
+		t.Fatal("refute stage missing")
+	}
+	var sb strings.Builder
+	RenderCarrySkip(&sb, ex)
+	if !strings.Contains(sb.String(), "Carry-skip adder 8 bits") {
+		t.Fatal("render wrong")
+	}
+}
+
+func TestAnecdoteHarness(t *testing.T) {
+	an := Anecdote()
+	if an.WithDomVerdict != core.NoViolation {
+		t.Fatalf("dominators must refute at the proved bound, got %s", an.WithDomVerdict)
+	}
+	if an.PlainVerdict != core.PossibleViolation {
+		t.Fatalf("plain narrowing must NOT refute at the proved bound (that is the anecdote), got %s", an.PlainVerdict)
+	}
+	if an.ProvedBound >= an.Top {
+		t.Fatalf("proved bound %s must be far below top %s", an.ProvedBound, an.Top)
+	}
+	if an.Dominators < 2 {
+		t.Fatalf("expected a dominator chain, got %d", an.Dominators)
+	}
+	var sb strings.Builder
+	RenderAnecdote(&sb, an)
+	if !strings.Contains(sb.String(), "dominator") {
+		t.Fatal("render wrong")
+	}
+}
+
+func TestTable1SmallSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite subset needs a few seconds")
+	}
+	var entries []gen.SuiteEntry
+	for _, e := range gen.SubstituteSuite() {
+		if e.Name == "c17" || e.Name == "c432" || e.Name == "c880" {
+			entries = append(entries, e)
+		}
+	}
+	rows := Table1(entries, 100000)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		if rows[i].Delta != rows[i+1].Delta+1 {
+			t.Fatalf("row pair deltas inconsistent: %s vs %s", rows[i].Delta, rows[i+1].Delta)
+		}
+		// The δ+1 row must be refuted somewhere; the δ row witnessed.
+		refuted := rows[i].BeforeGITD == core.NoViolation ||
+			rows[i].AfterGITD == core.NoViolation ||
+			rows[i].AfterStem == core.NoViolation ||
+			rows[i].CAResult == core.NoViolation
+		if !refuted {
+			t.Fatalf("%s δ+1 not refuted: %+v", rows[i].Circuit, rows[i])
+		}
+		if rows[i+1].CAResult != core.ViolationFound {
+			t.Fatalf("%s δ not witnessed: %+v", rows[i+1].Circuit, rows[i+1])
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package learn implements the static-learning preprocessing of
+// Section 4 (after SOCRATES): for every net and value it propagates
+// direct three-valued implications through the netlist, records the
+// resulting net-value implications together with their contrapositives,
+// and applies them during narrowing whenever a class empties in some
+// domain (the net's settled value becomes known).
+package learn
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/constraint"
+	"repro/internal/waveform"
+)
+
+// Assignment is a net-value pair.
+type Assignment struct {
+	Net circuit.NetID
+	Val int
+}
+
+// Table holds the learned class implications of one circuit.
+type Table struct {
+	c *circuit.Circuit
+	// imp[2*net+val] lists the assignments implied by net settling to
+	// val.
+	imp [][]Assignment
+	// impossible[2*net+val] marks assumptions that propagate to a
+	// contradiction: the net can never settle to val.
+	impossible []bool
+	// Implications counts stored entries (statistics).
+	Implications int
+}
+
+func key(n circuit.NetID, v int) int { return 2*int(n) + v }
+
+// Precompute runs the learning pass: one three-valued propagation per
+// (net, value) assumption. Implications are stored in both directions
+// (direct and contrapositive), deduplicated.
+func Precompute(c *circuit.Circuit) *Table {
+	t := &Table{
+		c:          c,
+		imp:        make([][]Assignment, 2*c.NumNets()),
+		impossible: make([]bool, 2*c.NumNets()),
+	}
+	p := newProp(c)
+	seen := make(map[[2]int]bool)
+	add := func(from Assignment, to Assignment) {
+		if from.Net == to.Net {
+			return
+		}
+		k := [2]int{key(from.Net, from.Val), key(to.Net, to.Val)}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		t.imp[key(from.Net, from.Val)] = append(t.imp[key(from.Net, from.Val)], to)
+		t.Implications++
+	}
+	for n := 0; n < c.NumNets(); n++ {
+		for v := 0; v <= 1; v++ {
+			nid := circuit.NetID(n)
+			ok, assigned := p.run(nid, v)
+			if !ok {
+				t.impossible[key(nid, v)] = true
+				continue
+			}
+			for _, a := range assigned {
+				if a.Net == nid {
+					continue
+				}
+				add(Assignment{nid, v}, a)
+				// Contrapositive: ¬a ⇒ ¬(n=v).
+				add(Assignment{a.Net, 1 - a.Val}, Assignment{nid, 1 - v})
+			}
+		}
+	}
+	return t
+}
+
+// Implied returns the assignments implied by net n settling to v.
+func (t *Table) Implied(n circuit.NetID, v int) []Assignment { return t.imp[key(n, v)] }
+
+// Impossible reports whether the learning pass proved that net n can
+// never settle to v.
+func (t *Table) Impossible(n circuit.NetID, v int) bool { return t.impossible[key(n, v)] }
+
+// Apply enforces the learned implications on the constraint system:
+// any net whose domain is reduced to a single class imposes its
+// implications as class restrictions on other domains, and classes
+// proved impossible are removed outright. It reports whether anything
+// changed; callers then resume the fixpoint. Apply is monotone and
+// idempotent, so it is safe to call repeatedly inside the solve loop.
+func (t *Table) Apply(sys *constraint.System) bool {
+	changed := false
+	for n := 0; n < t.c.NumNets(); n++ {
+		nid := circuit.NetID(n)
+		d := sys.Domain(nid)
+		for v := 0; v <= 1; v++ {
+			if t.impossible[key(nid, v)] && !d.Wave(v).IsEmpty() {
+				if sys.Narrow(nid, waveform.SettledTo(1-v)) {
+					changed = true
+					d = sys.Domain(nid)
+				}
+			}
+		}
+		v, known := d.KnownValue()
+		if !known {
+			continue
+		}
+		for _, a := range t.imp[key(nid, v)] {
+			if sys.Domain(a.Net).Wave(1 - a.Val).IsEmpty() {
+				continue
+			}
+			if sys.Narrow(a.Net, waveform.SettledTo(a.Val)) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// prop is the three-valued direct-implication engine used by the
+// learning pass (forward and backward gate rules, no case splits).
+type prop struct {
+	c     *circuit.Circuit
+	val   []int8 // -1 unknown
+	dirty []circuit.GateID
+	inQ   []bool
+	trail []circuit.NetID
+}
+
+func newProp(c *circuit.Circuit) *prop {
+	p := &prop{c: c, val: make([]int8, c.NumNets()), inQ: make([]bool, c.NumGates())}
+	for i := range p.val {
+		p.val[i] = -1
+	}
+	return p
+}
+
+// run assumes net n settles to v, propagates, and returns whether the
+// assumption is consistent plus every determined assignment. State is
+// rolled back before returning.
+func (p *prop) run(n circuit.NetID, v int) (ok bool, out []Assignment) {
+	ok = true
+	defer func() {
+		for _, m := range p.trail {
+			p.val[m] = -1
+		}
+		p.trail = p.trail[:0]
+		for _, g := range p.dirty {
+			p.inQ[g] = false
+		}
+		p.dirty = p.dirty[:0]
+	}()
+	if !p.assign(n, int8(v)) {
+		return false, nil
+	}
+	for len(p.dirty) > 0 {
+		g := p.dirty[0]
+		p.dirty = p.dirty[1:]
+		p.inQ[g] = false
+		if !p.applyGate(g) {
+			return false, nil
+		}
+	}
+	for _, m := range p.trail {
+		out = append(out, Assignment{m, int(p.val[m])})
+	}
+	return true, out
+}
+
+func (p *prop) assign(n circuit.NetID, v int8) bool {
+	switch p.val[n] {
+	case v:
+		return true
+	case -1:
+		p.val[n] = v
+		p.trail = append(p.trail, n)
+		p.scheduleNet(n)
+		return true
+	default:
+		return false // conflict
+	}
+}
+
+func (p *prop) scheduleNet(n circuit.NetID) {
+	if d := p.c.Net(n).Driver; d != circuit.InvalidGate && !p.inQ[d] {
+		p.inQ[d] = true
+		p.dirty = append(p.dirty, d)
+	}
+	for _, g := range p.c.Net(n).Fanout {
+		if !p.inQ[g] {
+			p.inQ[g] = true
+			p.dirty = append(p.dirty, g)
+		}
+	}
+}
+
+// applyGate runs the direct-implication rules of one gate.
+func (p *prop) applyGate(gid circuit.GateID) bool {
+	g := p.c.Gate(gid)
+	out := p.val[g.Output]
+	switch g.Type {
+	case circuit.NOT:
+		in := p.val[g.Inputs[0]]
+		if in != -1 && !p.assign(g.Output, 1-in) {
+			return false
+		}
+		if out != -1 && !p.assign(g.Inputs[0], 1-out) {
+			return false
+		}
+	case circuit.BUFFER, circuit.DELAY:
+		in := p.val[g.Inputs[0]]
+		if in != -1 && !p.assign(g.Output, in) {
+			return false
+		}
+		if out != -1 && !p.assign(g.Inputs[0], out) {
+			return false
+		}
+	case circuit.AND, circuit.NAND, circuit.OR, circuit.NOR:
+		ctrl, _ := g.Type.HasControlling()
+		cv := int8(ctrl)
+		controlled := cv
+		if g.Type.Inverting() {
+			controlled = 1 - cv
+		}
+		nonControlled := 1 - controlled
+		// Forward.
+		known := 0
+		anyCtrl := false
+		var lastUnknown circuit.NetID = circuit.InvalidNet
+		for _, x := range g.Inputs {
+			switch p.val[x] {
+			case cv:
+				anyCtrl = true
+				known++
+			case 1 - cv:
+				known++
+			default:
+				lastUnknown = x
+			}
+		}
+		if anyCtrl {
+			if !p.assign(g.Output, controlled) {
+				return false
+			}
+		} else if known == len(g.Inputs) {
+			if !p.assign(g.Output, nonControlled) {
+				return false
+			}
+		}
+		// Backward.
+		if out == nonControlled {
+			for _, x := range g.Inputs {
+				if !p.assign(x, 1-cv) {
+					return false
+				}
+			}
+		}
+		if out == controlled && !anyCtrl && known == len(g.Inputs)-1 && lastUnknown != circuit.InvalidNet {
+			if !p.assign(lastUnknown, cv) {
+				return false
+			}
+		}
+	case circuit.XOR, circuit.XNOR:
+		parity := int8(0)
+		if g.Type == circuit.XNOR {
+			parity = 1
+		}
+		unknown := 0
+		var lastUnknown circuit.NetID = circuit.InvalidNet
+		acc := parity
+		for _, x := range g.Inputs {
+			if p.val[x] == -1 {
+				unknown++
+				lastUnknown = x
+			} else {
+				acc ^= p.val[x]
+			}
+		}
+		switch {
+		case unknown == 0:
+			if !p.assign(g.Output, acc) {
+				return false
+			}
+		case unknown == 1 && out != -1:
+			if !p.assign(lastUnknown, acc^out) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,36 @@
+package sdf
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// FuzzApply asserts the SDF subset parser never panics on arbitrary
+// input and leaves the circuit structurally intact.
+func FuzzApply(f *testing.F) {
+	f.Add(testSDF)
+	f.Add("(DELAYFILE)")
+	f.Add("(DELAYFILE (TIMESCALE 10ps) (CELL (INSTANCE x)))")
+	f.Add("((((")
+	f.Add(`(DELAYFILE (CELL (INSTANCE z) (DELAY (ABSOLUTE (IOPATH a y (1:2:3))))))`)
+	f.Add(`(DELAYFILE "str with ) inside")`)
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := circuit.ParseBenchString(testCkt, circuit.BenchOptions{DefaultDelay: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gates := c.NumGates()
+		_, _ = ApplyString(c, src) // must not panic
+		if c.NumGates() != gates {
+			t.Fatal("SDF application must not change the netlist structure")
+		}
+		// Delays must remain non-negative (rtriples can be weird but
+		// parse-rejected values never land).
+		for i := 0; i < gates; i++ {
+			if c.Gate(circuit.GateID(i)).Delay < 0 {
+				t.Fatal("negative delay applied")
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/waveform"
+)
+
+// PairResult is a concrete two-vector (transition-mode) timing
+// simulation: vector v1 applied since forever, v2 applied at time 0.
+// Unlike floating mode there is no unknown state — every net has a
+// fully determined binary waveform, so last-transition times are exact.
+type PairResult struct {
+	// Initial and Final hold each net's settled value under v1 and v2.
+	Initial, Final []int
+	// Last is the exact last time each net differs from Final
+	// (NegInf when the net never changes).
+	Last []waveform.Time
+}
+
+// RunPair simulates the two-vector pair exactly under transport-delay
+// semantics by unrolling time over [0, horizon]; the horizon defaults
+// to the topological delay when 0 is passed.
+func RunPair(c *circuit.Circuit, v1, v2 Vector, horizon waveform.Time) (*PairResult, error) {
+	pis := c.PrimaryInputs()
+	if len(v1) != len(pis) || len(v2) != len(pis) {
+		return nil, fmt.Errorf("sim: pair vectors have %d/%d bits for %d primary inputs",
+			len(v1), len(v2), len(pis))
+	}
+	if horizon <= 0 {
+		horizon = topoDelay(c)
+	}
+	if horizon > 1<<20 {
+		return nil, fmt.Errorf("sim: horizon %d out of range", horizon)
+	}
+	H := int(horizon) + 1
+	r := &PairResult{
+		Initial: make([]int, c.NumNets()),
+		Final:   make([]int, c.NumNets()),
+		Last:    make([]waveform.Time, c.NumNets()),
+	}
+	// wave[n][t] for t in [0..H]; before 0 every net holds its v1
+	// steady-state value.
+	wave := make([][]uint8, c.NumNets())
+	for i := range wave {
+		wave[i] = make([]uint8, H+1)
+		r.Initial[i] = -1
+		r.Final[i] = -1
+	}
+	for i, pi := range pis {
+		if v1[i]>>1 != 0 || v2[i]>>1 != 0 {
+			return nil, fmt.Errorf("sim: non-binary pair bit")
+		}
+		r.Initial[pi] = v1[i]
+		r.Final[pi] = v2[i]
+		// The input holds v1 up to and including t = 0 and v2 after —
+		// consistent with the floating-mode convention that an input
+		// may still differ from its final value at t = 0 exactly.
+		wave[pi][0] = uint8(v1[i])
+		for t := 1; t <= H; t++ {
+			wave[pi][t] = uint8(v2[i])
+		}
+	}
+	in1 := make([]int, 0, 16)
+	in2 := make([]int, 0, 16)
+	in3 := make([]uint8, 0, 16)
+	for _, gid := range c.TopoGates() {
+		g := c.Gate(gid)
+		in1 = in1[:0]
+		in2 = in2[:0]
+		for _, x := range g.Inputs {
+			in1 = append(in1, r.Initial[x])
+			in2 = append(in2, r.Final[x])
+		}
+		r.Initial[g.Output] = g.Type.Eval(in1)
+		r.Final[g.Output] = g.Type.Eval(in2)
+		d := int(g.Delay)
+		for t := 0; t <= H; t++ {
+			in3 = in3[:0]
+			src := t - d
+			for _, x := range g.Inputs {
+				if src < 0 {
+					in3 = append(in3, uint8(r.Initial[x]))
+				} else {
+					in3 = append(in3, wave[x][src])
+				}
+			}
+			iv := make([]int, len(in3))
+			for j, b := range in3 {
+				iv[j] = int(b)
+			}
+			wave[g.Output][t] = uint8(g.Type.Eval(iv))
+		}
+	}
+	for n := 0; n < c.NumNets(); n++ {
+		r.Last[n] = waveform.NegInf
+		fin := uint8(r.Final[n])
+		for t := H; t >= 0; t-- {
+			if wave[n][t] != fin {
+				r.Last[n] = waveform.Time(t)
+				break
+			}
+		}
+	}
+	return r, nil
+}
+
+func topoDelay(c *circuit.Circuit) waveform.Time {
+	arr := make([]waveform.Time, c.NumNets())
+	worst := waveform.Time(0)
+	for _, gid := range c.TopoGates() {
+		g := c.Gate(gid)
+		t := waveform.Time(0)
+		for _, in := range g.Inputs {
+			if arr[in] > t {
+				t = arr[in]
+			}
+		}
+		arr[g.Output] = t.Add(waveform.Time(g.Delay))
+		if arr[g.Output] > worst {
+			worst = arr[g.Output]
+		}
+	}
+	return worst
+}
+
+// TransitionDelayExhaustive computes the exact transition-mode delay of
+// net n: the maximum over all 4^k vector pairs of the last-transition
+// time. Exponential; a test oracle for small circuits.
+func TransitionDelayExhaustive(c *circuit.Circuit, n circuit.NetID) (waveform.Time, Vector, Vector, error) {
+	k := len(c.PrimaryInputs())
+	if k > 12 {
+		return 0, nil, nil, fmt.Errorf("sim: %d inputs is too many for exhaustive pair search", k)
+	}
+	horizon := topoDelay(c)
+	best := waveform.NegInf
+	var b1, b2 Vector
+	v1 := make(Vector, k)
+	v2 := make(Vector, k)
+	for a := 0; a < 1<<k; a++ {
+		for b := 0; b < 1<<k; b++ {
+			for i := 0; i < k; i++ {
+				v1[i] = (a >> i) & 1
+				v2[i] = (b >> i) & 1
+			}
+			r, err := RunPair(c, v1, v2, horizon)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if r.Last[n] > best {
+				best = r.Last[n]
+				b1 = append(Vector(nil), v1...)
+				b2 = append(Vector(nil), v2...)
+			}
+		}
+	}
+	return best, b1, b2, nil
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/waveform"
+)
+
+func TestRunPairBasic(t *testing.T) {
+	c := mustBuild(t, `
+INPUT(a)
+OUTPUT(z)
+n1 = BUFF(a)
+z = NOT(n1)
+`, 10)
+	// Rising input: a goes 0→1 at t=0; z falls at exactly 20.
+	r, err := RunPair(c, Vector{0}, Vector{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := id(t, c, "z")
+	if r.Initial[z] != 1 || r.Final[z] != 0 {
+		t.Fatalf("values wrong: %d→%d", r.Initial[z], r.Final[z])
+	}
+	if r.Last[z] != 20 {
+		t.Fatalf("z last transition = %s, want 20", r.Last[z])
+	}
+	// Constant input: nothing moves.
+	r, err = RunPair(c, Vector{1}, Vector{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Last[z] != waveform.NegInf {
+		t.Fatalf("constant pair must not transition, got %s", r.Last[z])
+	}
+}
+
+func TestRunPairGlitch(t *testing.T) {
+	// Static-1 hazard: z = OR(a, NOT(a)) with unequal path delays
+	// glitches on a falling a even though its final value is constant 1.
+	c := mustBuild(t, `
+INPUT(a)
+OUTPUT(z)
+na = NOT(a)
+z = OR(a, na)
+`, 10)
+	z := id(t, c, "z")
+	// a: 1→0. z final 1. Window t∈(10,20]: a(t-10)=0 and na(t-10) uses
+	// a(t-20)=1 → na=0 → z=0: a glitch ending at 20.
+	r, err := RunPair(c, Vector{1}, Vector{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Final[z] != 1 {
+		t.Fatal("z final must be 1")
+	}
+	if r.Last[z] != 20 {
+		t.Fatalf("glitch must end at 20, got %s", r.Last[z])
+	}
+	// a: 0→1 — the OR sees the 1 first; no glitch below... the NOT side
+	// turns off later but OR holds 1 throughout.
+	r, err = RunPair(c, Vector{0}, Vector{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Last[z] != waveform.NegInf {
+		t.Fatalf("rising a must not glitch z, got %s", r.Last[z])
+	}
+}
+
+func TestRunPairErrors(t *testing.T) {
+	c := mustBuild(t, `
+INPUT(a)
+OUTPUT(z)
+z = BUFF(a)
+`, 10)
+	if _, err := RunPair(c, Vector{0, 1}, Vector{1}, 0); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := RunPair(c, Vector{2}, Vector{1}, 0); err == nil {
+		t.Fatal("non-binary must error")
+	}
+}
+
+func TestTransitionDelayExhaustive(t *testing.T) {
+	c := mustBuild(t, andOr, 10)
+	z := id(t, c, "z")
+	d, p1, p2, err := TransitionDelayExhaustive(c, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reproduce the worst pair.
+	r, err := RunPair(c, p1, p2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Last[z] != d {
+		t.Fatalf("worst pair does not reproduce: %s vs %s", r.Last[z], d)
+	}
+	// Transition delay ≤ floating delay, always.
+	fl, _, err := FloatingDelayExhaustive(c, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > fl {
+		t.Fatalf("transition %s > floating %s", d, fl)
+	}
+}
+
+func TestPairVersusFloatingOnRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := randomCircuit(t, seed+77, 4, 9)
+		po := c.PrimaryOutputs()[0]
+		tr, _, _, err := TransitionDelayExhaustive(c, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, _, err := FloatingDelayExhaustive(c, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr > fl {
+			t.Fatalf("seed %d: transition %s exceeds floating %s", seed, tr, fl)
+		}
+	}
+}

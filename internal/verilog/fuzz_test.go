@@ -1,0 +1,28 @@
+package verilog
+
+import "testing"
+
+// FuzzParse asserts the structural-Verilog parser never panics, and
+// write→read is stable for whatever parses.
+func FuzzParse(f *testing.F) {
+	f.Add(c17v)
+	f.Add("module m; endmodule")
+	f.Add("module m (a, z); input a; output z; not (z, a); endmodule")
+	f.Add("module m; nand #5 u (z, a, b); endmodule")
+	f.Add("module /* c */ m; // x\nendmodule")
+	f.Add("module m (")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src, Options{DefaultDelay: 3})
+		if err != nil {
+			return
+		}
+		out := String(c)
+		c2, err := ParseString(out, Options{DefaultDelay: 3})
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ninput:\n%s\nemitted:\n%s", err, src, out)
+		}
+		if c2.NumGates() != c.NumGates() {
+			t.Fatalf("round trip changed gate count")
+		}
+	})
+}

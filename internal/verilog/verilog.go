@@ -1,0 +1,388 @@
+// Package verilog reads and writes the structural-Verilog subset that
+// gate-level timing tools exchange: one module, input/output/wire
+// declarations, and primitive gate instantiations (and, nand, or, nor,
+// xor, xnor, not, buf) with optional #delay annotations. This is the
+// industrial front end complementing the ISCAS .bench reader (the
+// paper's engine was being integrated with a Nortel timing verifier;
+// structural Verilog plus SDF is that flow's interchange format).
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Options control parsing.
+type Options struct {
+	// DefaultDelay applies to primitives without a #delay. Zero means 1.
+	DefaultDelay int64
+}
+
+// primitive maps Verilog gate primitives to the library. Verilog
+// primitive ports are (output, inputs...).
+var primitive = map[string]circuit.GateType{
+	"and": circuit.AND, "nand": circuit.NAND,
+	"or": circuit.OR, "nor": circuit.NOR,
+	"xor": circuit.XOR, "xnor": circuit.XNOR,
+	"not": circuit.NOT, "buf": circuit.BUFFER,
+}
+
+var primName = map[circuit.GateType]string{
+	circuit.AND: "and", circuit.NAND: "nand",
+	circuit.OR: "or", circuit.NOR: "nor",
+	circuit.XOR: "xor", circuit.XNOR: "xnor",
+	circuit.NOT: "not", circuit.BUFFER: "buf", circuit.DELAY: "buf",
+}
+
+// Read parses one structural module into a Circuit.
+func Read(r io.Reader, opt Options) (*circuit.Circuit, error) {
+	if opt.DefaultDelay == 0 {
+		opt.DefaultDelay = 1
+	}
+	toks, err := lex(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.module(opt)
+}
+
+// ParseString is Read over a string.
+func ParseString(s string, opt Options) (*circuit.Circuit, error) {
+	return Read(strings.NewReader(s), opt)
+}
+
+// Write renders the circuit as one structural-Verilog module with
+// #delay annotations on every primitive.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	var ports []string
+	for _, pi := range c.PrimaryInputs() {
+		ports = append(ports, c.Net(pi).Name)
+	}
+	for _, po := range c.PrimaryOutputs() {
+		ports = append(ports, c.Net(po).Name)
+	}
+	name := sanitizeID(c.Name)
+	if name == "" {
+		name = "top"
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", name, strings.Join(ports, ", "))
+	for _, pi := range c.PrimaryInputs() {
+		fmt.Fprintf(bw, "  input %s;\n", c.Net(pi).Name)
+	}
+	for _, po := range c.PrimaryOutputs() {
+		fmt.Fprintf(bw, "  output %s;\n", c.Net(po).Name)
+	}
+	for i := 0; i < c.NumNets(); i++ {
+		n := c.Net(circuit.NetID(i))
+		if !n.IsPI && !n.IsPO {
+			fmt.Fprintf(bw, "  wire %s;\n", n.Name)
+		}
+	}
+	fmt.Fprintln(bw)
+	for gi, gid := range c.TopoGates() {
+		g := c.Gate(gid)
+		prim, ok := primName[g.Type]
+		if !ok {
+			return fmt.Errorf("verilog: gate type %s has no primitive", g.Type)
+		}
+		args := []string{c.Net(g.Output).Name}
+		for _, in := range g.Inputs {
+			args = append(args, c.Net(in).Name)
+		}
+		fmt.Fprintf(bw, "  %s #%d u%d (%s);\n", prim, g.Delay, gi, strings.Join(args, ", "))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// String renders to a string (panics only on impossible writer errors).
+func String(c *circuit.Circuit) string {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+func sanitizeID(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '$':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if out != "" && out[0] >= '0' && out[0] <= '9' {
+		out = "m" + out
+	}
+	return out
+}
+
+// ---- lexer ----
+
+type token struct {
+	text string
+	line int
+}
+
+func lex(r io.Reader) ([]token, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("verilog: read: %v", err)
+	}
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, fmt.Errorf("verilog: line %d: unterminated block comment", line)
+			}
+			i += 2
+		case c == '(' || c == ')' || c == ',' || c == ';' || c == '#':
+			toks = append(toks, token{string(c), line})
+			i++
+		case isIdentByte(c):
+			j := i
+			for j < n && isIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, token{string(src[i:j]), line})
+			i = j
+		default:
+			return nil, fmt.Errorf("verilog: line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '$' || c == '.' || c == '[' || c == ']' || c == '\\'
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) next() (token, error) {
+	t, ok := p.peek()
+	if !ok {
+		return token{}, fmt.Errorf("verilog: unexpected end of input")
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expect(text string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.text != text {
+		return fmt.Errorf("verilog: line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+// identList parses "a, b, c ;" (the terminator is consumed).
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "," || t.text == ";" || t.text == ")" {
+			return nil, fmt.Errorf("verilog: line %d: expected identifier, got %q", t.line, t.text)
+		}
+		out = append(out, t.text)
+		sep, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch sep.text {
+		case ",":
+			continue
+		case ";":
+			return out, nil
+		default:
+			return nil, fmt.Errorf("verilog: line %d: expected , or ; got %q", sep.line, sep.text)
+		}
+	}
+}
+
+func (p *parser) module(opt Options) (*circuit.Circuit, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	b := circuit.NewBuilder(nameTok.text)
+	// Port list (names ignored; direction comes from declarations).
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if t.text == "(" {
+		for {
+			t, err = p.next()
+			if err != nil {
+				return nil, err
+			}
+			if t.text == ")" {
+				break
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	} else if t.text != ";" {
+		return nil, fmt.Errorf("verilog: line %d: expected port list or ;", t.line)
+	}
+
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("verilog: missing endmodule")
+		}
+		switch t.text {
+		case "endmodule":
+			p.pos++
+			return b.Build()
+		case "input":
+			p.pos++
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				b.Input(n)
+			}
+		case "output":
+			p.pos++
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				b.Output(n)
+			}
+		case "wire":
+			p.pos++
+			if _, err := p.identList(); err != nil {
+				return nil, err
+			}
+			// Wires are implicit in the builder.
+		default:
+			if gt, ok := primitive[strings.ToLower(t.text)]; ok {
+				p.pos++
+				if err := p.instance(b, gt, opt); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("verilog: line %d: unsupported construct %q (structural subset only)", t.line, t.text)
+		}
+	}
+}
+
+// instance parses "[#delay] [name] ( out, in... ) ;".
+func (p *parser) instance(b *circuit.Builder, gt circuit.GateType, opt Options) error {
+	delay := opt.DefaultDelay
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.text == "#" {
+		dt, err := p.next()
+		if err != nil {
+			return err
+		}
+		d, err := strconv.ParseInt(dt.text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("verilog: line %d: bad delay %q", dt.line, dt.text)
+		}
+		delay = d
+		t, err = p.next()
+		if err != nil {
+			return err
+		}
+	}
+	if t.text != "(" {
+		// Optional instance name.
+		if err := p.expect("("); err != nil {
+			return err
+		}
+	}
+	var args []string
+	for {
+		at, err := p.next()
+		if err != nil {
+			return err
+		}
+		if at.text == ")" || at.text == "," {
+			return fmt.Errorf("verilog: line %d: expected net name", at.line)
+		}
+		args = append(args, at.text)
+		sep, err := p.next()
+		if err != nil {
+			return err
+		}
+		if sep.text == ")" {
+			break
+		}
+		if sep.text != "," {
+			return fmt.Errorf("verilog: line %d: expected , or ) got %q", sep.line, sep.text)
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	if len(args) < 2 {
+		return fmt.Errorf("verilog: primitive needs an output and at least one input")
+	}
+	b.Gate(gt, delay, args[0], args[1:]...)
+	return nil
+}
