@@ -6,8 +6,10 @@ package repro_test
 // reference δ once, outside the timed loop.
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/constraint"
@@ -202,6 +204,54 @@ func BenchmarkAblationStaticDominatorsOnly(b *testing.B) {
 	o.UseDominators = false
 	o.UseStaticDominators = true
 	benchAblation(b, o)
+}
+
+// --- E6: Run API overhead -------------------------------------------------
+//
+// The Run path with a nil tracer and no deadline must cost the same as
+// the legacy Check (which is now a wrapper over it): observability that
+// is off must be free. BenchmarkRunTraced measures the StatsTracer tax.
+
+func benchRun(b *testing.B, req core.Request) {
+	c := gen.Hrapcenko(10)
+	s, _ := c.NetByName("s")
+	v := core.NewVerifier(c, core.Default())
+	req.Sink, req.Delta = s, 61
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.Run(ctx, req).Final != core.NoViolation {
+			b.Fatal("δ=61 must be refuted")
+		}
+	}
+}
+
+func BenchmarkRunNilTracer(b *testing.B) { benchRun(b, core.Request{}) }
+
+func BenchmarkRunStatsTracer(b *testing.B) {
+	benchRun(b, core.Request{Tracer: new(core.StatsTracer)})
+}
+
+func BenchmarkRunWithDeadline(b *testing.B) {
+	benchRun(b, core.Request{Deadline: time.Now().Add(time.Hour)})
+}
+
+func BenchmarkRunAllParallelC880(b *testing.B) {
+	var entry gen.SuiteEntry
+	for _, e := range suite() {
+		if e.Name == "c880" {
+			entry = e
+		}
+	}
+	v := core.NewVerifier(entry.Circuit, core.Default())
+	delta := v.Topological() + 1
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.RunAll(ctx, core.Request{Delta: delta, Workers: 0}).Final != core.NoViolation {
+			b.Fatal("δ=top+1 must be refuted")
+		}
+	}
 }
 
 // --- substrate micro-benchmarks ------------------------------------------

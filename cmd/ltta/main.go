@@ -15,13 +15,32 @@
 // analysis). With -exact, the exact floating-mode delay of the output
 // (or of the whole circuit when no -o is given) is computed. With
 // -sta, only the classical topological analysis is printed.
+//
+// Observability and control:
+//
+//	-timeout D    bound every check by the wall-clock duration D; an
+//	              interrupted check reports the verdict C (cancelled)
+//	-stats        print aggregated engine telemetry (propagations,
+//	              narrowings, backtracks, per-stage CPU) after the run
+//	-trace        stream engine events (stages, decisions, backtracks,
+//	              stem splits) as text; for a single-output -delta
+//	              check, also print the plain-fixpoint narrowing listing
+//	-trace-json   like -trace but one JSON object per event
+//	-workers N    fan whole-circuit checks over N workers (0 = all
+//	              CPUs); the aggregate verdict is identical to serial
+//	-debug-addr A serve /debug/vars (expvar engine counters) and
+//	              /debug/pprof on address A while the run executes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof on the default mux
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/constraint"
@@ -40,11 +59,17 @@ func main() {
 	exact := flag.Bool("exact", false, "compute the exact floating-mode delay")
 	sta := flag.Bool("sta", false, "print the classical topological analysis only")
 	budget := flag.Int("budget", 200000, "case-analysis backtrack budget")
+	maxProps := flag.Int64("max-propagations", 0, "abandon a check past this many gate-constraint applications (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound per check (0 = none); an expired check reports C (cancelled)")
+	workers := flag.Int("workers", 1, "fan whole-circuit checks over N workers (0 = all CPUs)")
 	noDom := flag.Bool("no-dominators", false, "disable dynamic timing dominators")
 	noLearn := flag.Bool("no-learning", false, "disable static learning")
 	noStem := flag.Bool("no-stems", false, "disable stem correlation")
 	sdfFile := flag.String("sdf", "", "back-annotate gate delays from an SDF file")
-	trace := flag.Bool("trace", false, "print every domain narrowing of the plain fixpoint (single-output -delta checks)")
+	trace := flag.Bool("trace", false, "stream engine trace events as text (plus the plain-fixpoint narrowing listing on single-output -delta checks)")
+	traceJSON := flag.Bool("trace-json", false, "stream engine trace events as JSON")
+	stats := flag.Bool("stats", false, "print aggregated engine telemetry after the run")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address during the run")
 	flag.Parse()
 
 	if *file == "" {
@@ -83,6 +108,15 @@ func main() {
 			an.Design, an.Applied, len(an.Missing))
 	}
 
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ltta: debug server:", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/debug/vars, /debug/pprof)\n", *debugAddr)
+	}
+
 	if *sta {
 		a := delay.New(c)
 		fmt.Printf("topological delay: %s\n", a.Topological())
@@ -115,19 +149,45 @@ func main() {
 		sink = id
 	}
 
+	// Assemble the request shared by every engine call: budgets,
+	// per-check deadline, tracer chain.
+	var statsTracer *core.StatsTracer
+	var tracers []core.Tracer
+	if *stats {
+		statsTracer = new(core.StatsTracer)
+		tracers = append(tracers, statsTracer)
+	}
+	switch {
+	case *traceJSON:
+		tracers = append(tracers, core.NewJSONTraceWriter(os.Stdout, c))
+	case *trace:
+		tracers = append(tracers, core.NewTraceWriter(os.Stdout, c))
+	}
+	req := core.Request{
+		Budgets: core.Budgets{MaxPropagations: *maxProps},
+		Tracer:  core.MultiTracer(tracers...),
+		Workers: *workers,
+	}
+	// A -timeout bounds each individual check; the deadline restarts
+	// per engine call via the request's Deadline field.
+	perCheck := func() core.Request {
+		r := req
+		if *timeout > 0 {
+			r.Deadline = time.Now().Add(*timeout)
+		}
+		return r
+	}
+	ctx := context.Background()
+
 	switch {
 	case *exact:
 		if sink != circuit.InvalidNet {
-			res, err := v.ExactFloatingDelay(sink)
-			if err != nil {
-				fatal(err)
-			}
+			res, err := v.ExactFloatingDelayCtx(ctx, sink, perCheck())
+			reportDelayErr(err)
 			printDelay(c, *output, res)
 		} else {
-			res, err := v.CircuitFloatingDelay()
-			if err != nil {
-				fatal(err)
-			}
+			res, err := v.CircuitFloatingDelayCtx(ctx, perCheck())
+			reportDelayErr(err)
 			printDelay(c, "circuit", res)
 		}
 	case *deltaF >= 0:
@@ -136,13 +196,19 @@ func main() {
 			if *trace {
 				printTrace(c, sink, d)
 			}
-			rep := v.Check(sink, d)
+			r := perCheck()
+			r.Sink, r.Delta = sink, d
+			rep := v.Run(ctx, r)
 			printReport(c, v, *output, rep)
 		} else {
-			cr := v.CheckAll(d)
+			r := perCheck()
+			r.Delta = d
+			cr := v.RunAll(ctx, r)
 			fmt.Printf("check (all outputs, %s): %s\n", d, cr.Final)
 			fmt.Printf("  stages: before-GITD %s, after-GITD %s, after-stems %s, CA %s (%d backtracks)\n",
 				cr.BeforeGITD, cr.AfterGITD, cr.AfterStem, cr.CaseAnalysis, cr.Backtracks)
+			fmt.Printf("  work: %d propagations, %d dominators, %d dominator rounds over %d outputs\n",
+				cr.Propagations, cr.Dominators, cr.DominatorRounds, len(cr.PerOutput))
 			if cr.Final == core.ViolationFound {
 				rep := cr.PerOutput[cr.WitnessOutput]
 				fmt.Printf("  witness on %s: vector %s, settle %s\n",
@@ -152,9 +218,29 @@ func main() {
 	default:
 		fatal(fmt.Errorf("one of -delta, -exact, or -sta is required"))
 	}
+
+	if statsTracer != nil {
+		fmt.Printf("engine: %s\n", statsTracer)
+	}
+}
+
+// reportDelayErr surfaces a cancelled delay search without discarding
+// the partial bracket the caller still prints.
+func reportDelayErr(err error) {
+	if err == nil {
+		return
+	}
+	if err == context.DeadlineExceeded || err == context.Canceled {
+		fmt.Println("search cancelled; the reported delay is the partial bracket so far")
+		return
+	}
+	fatal(err)
 }
 
 func printDelay(c *circuit.Circuit, what string, res *core.DelayResult) {
+	if res == nil {
+		return
+	}
 	kind := "exact floating-mode delay"
 	if !res.Exact {
 		kind = "floating-mode delay upper bound"
@@ -172,6 +258,9 @@ func printReport(c *circuit.Circuit, v *core.Verifier, out string, rep *core.Rep
 	if rep.Backtracks >= 0 {
 		fmt.Printf("  backtracks: %d\n", rep.Backtracks)
 	}
+	if rep.Final == core.Cancelled {
+		fmt.Printf("  cancelled: deadline or interrupt before a verdict; raise -timeout to decide\n")
+	}
 	if rep.Final == core.ViolationFound {
 		fmt.Printf("  witness: vector %s, settle %s\n", rep.Witness, rep.WitnessSettle)
 		if path, err := v.WitnessPath(rep.Sink, rep.Witness); err == nil {
@@ -182,8 +271,8 @@ func printReport(c *circuit.Circuit, v *core.Verifier, out string, rep *core.Rep
 			fmt.Println()
 		}
 	}
-	fmt.Printf("  %d dominators on first round, %d propagations, %.3fs\n",
-		rep.Dominators, rep.Propagations, rep.Elapsed.Seconds())
+	fmt.Printf("  %d dominators on first round, %d propagations, %d narrowings, queue high-water %d, %.3fs\n",
+		rep.Dominators, rep.Propagations, rep.Stats.Narrowings, rep.Stats.QueueHighWater, rep.Elapsed.Seconds())
 }
 
 // printTrace replays the plain fixpoint of the check with the

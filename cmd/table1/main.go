@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/harness"
 )
@@ -23,6 +24,8 @@ func main() {
 	only := flag.String("only", "", "run a single suite circuit by name (e.g. c1908)")
 	asJSON := flag.Bool("json", false, "emit rows as JSON instead of the text table")
 	workers := flag.Int("parallel", 1, "fan per-output checks over N workers (verdicts unchanged)")
+	stats := flag.Bool("stats", false, "print aggregated engine telemetry after the table")
+	pprofLabels := flag.Bool("pprof-labels", false, "tag parallel per-output checks with pprof labels")
 	flag.Parse()
 
 	entries := gen.SubstituteSuite()
@@ -45,9 +48,18 @@ func main() {
 		fmt.Println("Substitutes are synthetic stand-ins of comparable structure; see DESIGN.md §4.")
 		fmt.Println()
 	}
+	var tracer *core.StatsTracer
+	var opts []harness.RowOption
+	if *stats {
+		tracer = new(core.StatsTracer)
+		opts = append(opts, harness.WithTracer(tracer))
+	}
+	if *pprofLabels {
+		opts = append(opts, harness.WithPprofLabels())
+	}
 	var rows []harness.Table1Row
 	for _, e := range entries {
-		rows = append(rows, harness.CircuitRowsParallel(e.Name, e.Circuit, *budget, *workers)...)
+		rows = append(rows, harness.CircuitRowsParallel(e.Name, e.Circuit, *budget, *workers, opts...)...)
 		// Render incrementally so long runs show progress.
 	}
 	if *asJSON {
@@ -55,10 +67,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "table1:", err)
 			os.Exit(1)
 		}
+		if tracer != nil {
+			fmt.Fprintln(os.Stderr, "engine:", tracer)
+		}
 		return
 	}
 	harness.RenderTable1(os.Stdout, rows)
 	fmt.Println()
 	fmt.Println("Legend: P possible violation, N no violation, V test vector found,")
-	fmt.Println("        A abandoned, - stage not needed, E exact floating delay, U upper bound.")
+	fmt.Println("        A abandoned, C cancelled, - stage not needed,")
+	fmt.Println("        E exact floating delay, U upper bound.")
+	if tracer != nil {
+		fmt.Println()
+		fmt.Println("engine:", tracer)
+	}
 }

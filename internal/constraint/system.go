@@ -34,6 +34,14 @@ type System struct {
 
 	trace func(n circuit.NetID, old, new waveform.Signal)
 
+	// stopFn, polled every stopPollInterval propagations, lets a caller
+	// interrupt a long fixpoint (deadline, cancellation, budget). When
+	// it returns true the solver parks: stopped becomes sticky and
+	// Fixpoint returns without draining the worklist.
+	stopFn    func() bool
+	sincePoll int
+	stopped   bool
+
 	trail trail
 
 	inconsistent bool
@@ -43,7 +51,15 @@ type System struct {
 	Propagations int64
 	// Narrowings counts domain changes (statistics).
 	Narrowings int64
+
+	queueHighWater int
 }
+
+// stopPollInterval is how many gate-constraint applications pass
+// between stop-function polls. At the engine's observed propagation
+// rates (millions per second) this bounds cancellation latency well
+// under a millisecond while keeping the poll off the per-gate hot path.
+const stopPollInterval = 256
 
 // New builds the constraint system for the circuit with the paper's
 // initial domains: every net unconstrained, every primary input
@@ -78,6 +94,22 @@ func (s *System) Inconsistent() bool { return s.inconsistent }
 // EmptyNet returns the first net whose domain emptied, or InvalidNet.
 func (s *System) EmptyNet() circuit.NetID { return s.emptyNet }
 
+// SetStopFunc installs a callback polled every few hundred
+// propagations during Fixpoint; when it returns true the solver stops
+// at the next poll point and Stopped() reports true from then on. Pass
+// nil to disable (the default); the nil path adds no work per gate
+// application. The stop state is sticky: once stopped, further
+// Fixpoint calls return immediately so an interrupted check unwinds
+// promptly through every layer.
+func (s *System) SetStopFunc(f func() bool) { s.stopFn = f }
+
+// Stopped reports whether a stop function interrupted the solver.
+func (s *System) Stopped() bool { return s.stopped }
+
+// QueueHighWater returns the largest worklist length observed — a
+// measure of how bursty constraint propagation was for this check.
+func (s *System) QueueHighWater() int { return s.queueHighWater }
+
 // schedule enqueues gate g unless it is already pending.
 func (s *System) schedule(g circuit.GateID) {
 	if g == circuit.InvalidGate || s.inQueue[g] {
@@ -85,6 +117,9 @@ func (s *System) schedule(g circuit.GateID) {
 	}
 	s.inQueue[g] = true
 	s.queue = append(s.queue, g)
+	if len(s.queue) > s.queueHighWater {
+		s.queueHighWater = len(s.queue)
+	}
 }
 
 // ScheduleAll enqueues every gate constraint (used for the initial
@@ -159,10 +194,16 @@ func (s *System) SetScheduleMode(m ScheduleMode) { s.mode = m }
 // integers bounded by the finite constants in the system, so
 // termination is guaranteed (Theorem 1).
 func (s *System) Fixpoint() bool {
+	if s.stopped {
+		return !s.inconsistent
+	}
 	if s.mode == Sweep {
 		return s.fixpointSweep()
 	}
 	for len(s.queue) > 0 && !s.inconsistent {
+		if s.stopFn != nil && s.pollStop() {
+			break
+		}
 		g := s.queue[0]
 		s.queue = s.queue[1:]
 		s.inQueue[g] = false
@@ -170,6 +211,20 @@ func (s *System) Fixpoint() bool {
 		s.applyGate(g)
 	}
 	return s.finishFixpoint()
+}
+
+// pollStop runs the stop function every stopPollInterval calls and
+// latches the stopped flag. Only reached when a stop function is set.
+func (s *System) pollStop() bool {
+	s.sincePoll++
+	if s.sincePoll < stopPollInterval {
+		return false
+	}
+	s.sincePoll = 0
+	if s.stopFn() {
+		s.stopped = true
+	}
+	return s.stopped
 }
 
 // fixpointSweep drains the worklist in alternating topological sweeps.
@@ -197,6 +252,9 @@ func (s *System) fixpointSweep() bool {
 		for _, g := range batch {
 			if s.inconsistent {
 				break
+			}
+			if s.stopFn != nil && s.pollStop() {
+				return s.finishFixpoint()
 			}
 			s.Propagations++
 			s.applyGate(g)

@@ -31,9 +31,11 @@ type decision struct {
 }
 
 // caseAnalysis searches for a test vector violating (sink, δ), returns
-// NoViolation when the search space is exhausted, or Abandoned past the
-// backtrack budget. rep.Backtracks and rep.Witness are filled in.
-func (v *Verifier) caseAnalysis(sys *constraint.System, sink circuit.NetID, delta waveform.Time, rep *Report) Result {
+// NoViolation when the search space is exhausted, Abandoned past the
+// backtrack (or propagation) budget, or Cancelled when the run's
+// context or deadline fires. rep.Backtracks and rep.Witness are filled
+// in.
+func (v *Verifier) caseAnalysis(rs *runState, sys *constraint.System, sink circuit.NetID, delta waveform.Time, rep *Report) Result {
 	var stack []decision
 	rep.Backtracks = 0
 
@@ -53,14 +55,29 @@ func (v *Verifier) caseAnalysis(sys *constraint.System, sink circuit.NetID, delt
 		return false
 	}
 
+	// conflict records one refuted branch and moves to the next, or
+	// reports the search exhausted/over budget.
+	conflict := func() (Result, bool) {
+		rep.Backtracks++
+		if rs.tracer != nil {
+			rs.tracer.Backtrack(rep.Backtracks)
+		}
+		if rs.maxBack > 0 && rep.Backtracks > rs.maxBack {
+			return Abandoned, true
+		}
+		if !backtrack() {
+			return NoViolation, true
+		}
+		return 0, false
+	}
+
 	for {
-		if v.evaluate(sys, sink, delta, rep) == NoViolation {
-			rep.Backtracks++
-			if v.opts.MaxBacktracks > 0 && rep.Backtracks > v.opts.MaxBacktracks {
-				return Abandoned
-			}
-			if !backtrack() {
-				return NoViolation
+		switch res := v.evaluate(rs, sys, sink, delta, rep); res {
+		case Cancelled, Abandoned:
+			return res
+		case NoViolation:
+			if res, done := conflict(); done {
+				return res
 			}
 			continue
 		}
@@ -76,17 +93,17 @@ func (v *Verifier) caseAnalysis(sys *constraint.System, sink circuit.NetID, delt
 				return ViolationFound
 			}
 			// Local consistency was too optimistic: treat as conflict.
-			rep.Backtracks++
-			if v.opts.MaxBacktracks > 0 && rep.Backtracks > v.opts.MaxBacktracks {
-				return Abandoned
-			}
-			if !backtrack() {
-				return NoViolation
+			if res, done := conflict(); done {
+				return res
 			}
 			continue
 		}
 		sys.Mark()
 		stack = append(stack, decision{net: net, val: val})
+		rep.Stats.Decisions++
+		if rs.tracer != nil {
+			rs.tracer.Decision(len(stack), net, val)
+		}
 		sys.Narrow(net, waveform.SettledTo(val))
 	}
 }

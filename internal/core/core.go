@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -37,6 +38,12 @@ const (
 	Abandoned
 	// StageSkipped: the stage was not needed (the paper's "-").
 	StageSkipped
+	// Cancelled: the check was interrupted by a context cancellation or
+	// deadline before any stage could decide it. Unlike Abandoned (a
+	// budget ran out — the engine gave up on an open question),
+	// Cancelled says the caller withdrew the question; re-running with
+	// more time may still decide it either way.
+	Cancelled
 )
 
 // String renders the paper's single-letter codes.
@@ -52,6 +59,8 @@ func (r Result) String() string {
 		return "A"
 	case StageSkipped:
 		return "-"
+	case Cancelled:
+		return "C"
 	}
 	return "?"
 }
@@ -159,87 +168,45 @@ type Report struct {
 	Propagations int64
 	// Elapsed is the wall-clock time of the check.
 	Elapsed time.Duration
+
+	// Stats carries the engine-level telemetry of the check (always
+	// filled; see Stats).
+	Stats Stats
 }
 
 // Check runs the full pipeline of the paper on the timing check
 // (sink, δ): plain fixpoint, dominator implications, stem correlation,
 // then case analysis, stopping as soon as a stage proves NoViolation.
+//
+// Deprecated: Check is a compatibility wrapper over [Verifier.Run],
+// which additionally supports cancellation, deadlines, budgets, and
+// tracing. New code should call Run.
 func (v *Verifier) Check(sink circuit.NetID, delta waveform.Time) *Report {
-	start := time.Now()
-	rep := &Report{
-		Sink: sink, Delta: delta,
-		AfterGITD: StageSkipped, AfterStem: StageSkipped, CaseAnalysis: StageSkipped,
-		Backtracks: -1,
-	}
-	sys := constraint.New(v.c)
-	sys.Narrow(sink, waveform.CheckOutput(delta))
-	sys.ScheduleAll()
-	if v.opts.UseStaticDominators {
-		doms := dom.Static(v.c, v.analysis, sink, delta)
-		dom.NarrowDominators(sys, doms, delta)
-	}
-
-	// Stage 1: plain constraint evaluation.
-	if !sys.Fixpoint() {
-		rep.BeforeGITD = NoViolation
-		rep.Final = NoViolation
-		rep.Propagations = sys.Propagations
-		rep.Elapsed = time.Since(start)
-		return rep
-	}
-	rep.BeforeGITD = PossibleViolation
-
-	// Stage 2: global implications (dominators + learning).
-	if v.opts.UseDominators || v.opts.UseLearning {
-		if v.evaluate(sys, sink, delta, rep) == NoViolation {
-			rep.AfterGITD = NoViolation
-			rep.Final = NoViolation
-			rep.Propagations = sys.Propagations
-			rep.Elapsed = time.Since(start)
-			return rep
-		}
-		rep.AfterGITD = PossibleViolation
-	}
-
-	// Stage 3: stem correlation.
-	if v.opts.UseStemCorrelation {
-		if v.stemCorrelation(sys, sink, delta, rep) == NoViolation {
-			rep.AfterStem = NoViolation
-			rep.Final = NoViolation
-			rep.Propagations = sys.Propagations
-			rep.Elapsed = time.Since(start)
-			return rep
-		}
-		rep.AfterStem = PossibleViolation
-	}
-
-	// Stage 4: case analysis.
-	res := v.caseAnalysis(sys, sink, delta, rep)
-	rep.CaseAnalysis = res
-	rep.Final = res
-	rep.Propagations = sys.Propagations
-	rep.Elapsed = time.Since(start)
-	return rep
+	return v.Run(context.Background(), Request{Sink: sink, Delta: delta})
 }
 
 // VerifyOnly runs the verify() procedure of Figure 4 — fixpoint plus
 // dominator implications, no case analysis — and returns NoViolation or
 // PossibleViolation.
+//
+// Deprecated: VerifyOnly is a compatibility wrapper over
+// [Verifier.Run] with Request.VerifyOnly set. New code should call Run.
 func (v *Verifier) VerifyOnly(sink circuit.NetID, delta waveform.Time) Result {
-	sys := constraint.New(v.c)
-	sys.Narrow(sink, waveform.CheckOutput(delta))
-	sys.ScheduleAll()
-	rep := &Report{}
-	return v.evaluate(sys, sink, delta, rep)
+	return v.Run(context.Background(), Request{Sink: sink, Delta: delta, VerifyOnly: true}).Final
 }
 
 // evaluate is the evaluate() loop of Figure 4 extended with learning:
 // reach the fixpoint; on consistency apply learned implications and
-// dominator narrowing; repeat until nothing changes.
-func (v *Verifier) evaluate(sys *constraint.System, sink circuit.NetID, delta waveform.Time, rep *Report) Result {
+// dominator narrowing; repeat until nothing changes. An interrupted
+// solve returns Cancelled or Abandoned per the run state.
+func (v *Verifier) evaluate(rs *runState, sys *constraint.System, sink circuit.NetID, delta waveform.Time, rep *Report) Result {
+	round := 0
 	for {
 		if !sys.Fixpoint() {
 			return NoViolation
+		}
+		if sys.Stopped() {
+			return rs.stopVerdict()
 		}
 		changed := false
 		if v.opts.UseLearning && v.table != nil {
@@ -252,9 +219,14 @@ func (v *Verifier) evaluate(sys *constraint.System, sink circuit.NetID, delta wa
 			if rep.Dominators == 0 {
 				rep.Dominators = len(doms.Nets)
 			}
-			if dom.NarrowDominators(sys, doms, delta) {
+			narrowed := dom.NarrowDominators(sys, doms, delta)
+			if narrowed {
 				changed = true
 				rep.DominatorRounds++
+			}
+			if rs.tracer != nil {
+				round++
+				rs.tracer.DominatorRound(round, len(doms.Nets), narrowed)
 			}
 		}
 		if !changed {
@@ -276,7 +248,7 @@ func (v *Verifier) evaluate(sys *constraint.System, sink circuit.NetID, delta wa
 // themselves (the e3-style conflicts of Figure 1, distributed over
 // reconvergent branches, are only refutable this way). The widening is
 // sound (each branch evaluation is) and only costs extra splits.
-func (v *Verifier) stemCorrelation(sys *constraint.System, sink circuit.NetID, delta waveform.Time, rep *Report) Result {
+func (v *Verifier) stemCorrelation(rs *runState, sys *constraint.System, sink circuit.NetID, delta waveform.Time, rep *Report) Result {
 	allStems := v.stems
 	if len(allStems) == 0 {
 		return PossibleViolation
@@ -305,7 +277,7 @@ func (v *Verifier) stemCorrelation(sys *constraint.System, sink circuit.NetID, d
 		if !influence[stem] {
 			continue
 		}
-		if v.opts.MaxStemSplits > 0 && splits >= v.opts.MaxStemSplits {
+		if rs.maxSplits > 0 && splits >= rs.maxSplits {
 			break
 		}
 		d := sys.Domain(stem)
@@ -313,10 +285,18 @@ func (v *Verifier) stemCorrelation(sys *constraint.System, sink circuit.NetID, d
 			continue
 		}
 		splits++
+		rep.Stats.StemSplits = splits
+		if rs.tracer != nil {
+			rs.tracer.StemSplit(splits, stem)
+		}
 		// Branch 0.
 		sys.Mark()
 		sys.Narrow(stem, waveform.SettledTo(0))
-		ok0 := v.evaluate(sys, sink, delta, rep) == PossibleViolation
+		ok0 := v.evaluate(rs, sys, sink, delta, rep) == PossibleViolation
+		if sys.Stopped() {
+			sys.Undo()
+			return rs.stopVerdict()
+		}
 		if ok0 {
 			for i := 0; i < n; i++ {
 				branch[i] = sys.Domain(circuit.NetID(i))
@@ -326,7 +306,11 @@ func (v *Verifier) stemCorrelation(sys *constraint.System, sink circuit.NetID, d
 		// Branch 1.
 		sys.Mark()
 		sys.Narrow(stem, waveform.SettledTo(1))
-		ok1 := v.evaluate(sys, sink, delta, rep) == PossibleViolation
+		ok1 := v.evaluate(rs, sys, sink, delta, rep) == PossibleViolation
+		if sys.Stopped() {
+			sys.Undo()
+			return rs.stopVerdict()
+		}
 		switch {
 		case !ok0 && !ok1:
 			sys.Undo()
@@ -356,8 +340,9 @@ func (v *Verifier) stemCorrelation(sys *constraint.System, sink circuit.NetID, d
 				sys.Narrow(circuit.NetID(i), branch[i])
 			}
 		}
-		if v.evaluate(sys, sink, delta, rep) == NoViolation {
-			return NoViolation
+		switch res := v.evaluate(rs, sys, sink, delta, rep); res {
+		case NoViolation, Cancelled, Abandoned:
+			return res
 		}
 		// Refresh carrier information for subsequent stems.
 		carrier, _ = dom.DynamicCarriers(sys, sink, delta)

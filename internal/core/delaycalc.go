@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -30,6 +31,15 @@ type DelayResult struct {
 }
 
 // ExactFloatingDelay computes the exact floating-mode delay of one
+// output.
+//
+// Deprecated: compatibility wrapper over
+// [Verifier.ExactFloatingDelayCtx] with a background context.
+func (v *Verifier) ExactFloatingDelay(sink circuit.NetID) (*DelayResult, error) {
+	return v.ExactFloatingDelayCtx(context.Background(), sink, Request{})
+}
+
+// ExactFloatingDelayCtx computes the exact floating-mode delay of one
 // output by binary search on δ: the check (sink, δ) is monotone in δ
 // and each decided check is exact, so the largest violable δ is the
 // delay. Abandoned checks never count as refutations — the search keeps
@@ -37,7 +47,12 @@ type DelayResult struct {
 // upper bound (the paper's c6288 row: δ+1 refuted, δ abandoned, value
 // reported as an upper bound "U"). The result is the sound bracket
 // [Lower, Delay], exact iff the two meet.
-func (v *Verifier) ExactFloatingDelay(sink circuit.NetID) (*DelayResult, error) {
+//
+// The request's Deadline, Budgets, and Tracer apply to every check of
+// the search (Sink and Delta are overwritten). A cancelled check aborts
+// the search: the partial bracket so far is returned together with the
+// context's error (or context.DeadlineExceeded for a request deadline).
+func (v *Verifier) ExactFloatingDelayCtx(ctx context.Context, sink circuit.NetID, req Request) (*DelayResult, error) {
 	upper := v.analysis.Arrival(sink) // topological bound: delay ≤ top_sink
 	if upper < 0 {
 		return nil, fmt.Errorf("core: net %s has no arrival", v.c.Net(sink).Name)
@@ -46,7 +61,8 @@ func (v *Verifier) ExactFloatingDelay(sink circuit.NetID) (*DelayResult, error) 
 	cursor := waveform.Time(-1) // search navigation; may pass abandoned points
 	for cursor < upper {
 		mid := cursor + (upper-cursor+1)/2
-		rep := v.Check(sink, mid)
+		req.Sink, req.Delta = sink, mid
+		rep := v.Run(ctx, req)
 		res.Checks++
 		if rep.Backtracks > 0 {
 			res.Backtracks += rep.Backtracks
@@ -58,6 +74,10 @@ func (v *Verifier) ExactFloatingDelay(sink circuit.NetID) (*DelayResult, error) 
 			res.Witness = rep.Witness
 		case NoViolation:
 			upper = mid - 1
+		case Cancelled:
+			res.Delay = upper
+			res.Exact = false
+			return res, cancelErr(ctx)
 		default: // Abandoned: move the cursor, claim nothing
 			cursor = mid
 		}
@@ -65,6 +85,16 @@ func (v *Verifier) ExactFloatingDelay(sink circuit.NetID) (*DelayResult, error) 
 	res.Delay = upper
 	res.Exact = res.Lower == upper
 	return res, nil
+}
+
+// cancelErr maps a cancelled check to the caller-visible error: the
+// context's own error when it fired, context.DeadlineExceeded when the
+// request deadline (invisible to ctx) did.
+func cancelErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.DeadlineExceeded
 }
 
 // CircuitReport aggregates a whole-circuit check at one δ: the paper's
@@ -84,54 +114,27 @@ type CircuitReport struct {
 	// Abandoned when some output was abandoned (and none violated),
 	// NoViolation when everything was refuted.
 	CaseAnalysis Result
-	// Final is the overall verdict.
+	// Final is the overall verdict (Cancelled when some check was
+	// interrupted and no violation decided the sweep first).
 	Final Result
 	// WitnessOutput is the PO index of the first witnessed violation.
 	WitnessOutput int
+
+	// Propagations, Dominators, and DominatorRounds sum the per-output
+	// report counters, so circuit-level reports account for all work
+	// done (not just backtracks).
+	Propagations    int64
+	Dominators      int
+	DominatorRounds int
 }
 
 // CheckAll runs the timing check (o, δ) for every primary output o and
 // aggregates the verdicts as in Table 1.
+//
+// Deprecated: compatibility wrapper over [Verifier.RunAll] with
+// Workers == 1. New code should call RunAll.
 func (v *Verifier) CheckAll(delta waveform.Time) *CircuitReport {
-	cr := &CircuitReport{Delta: delta, WitnessOutput: -1,
-		BeforeGITD: NoViolation, AfterGITD: StageSkipped, AfterStem: StageSkipped,
-		CaseAnalysis: StageSkipped, Final: NoViolation}
-	anyAbandoned := false
-	caRan := false
-	for i, po := range v.c.PrimaryOutputs() {
-		rep := v.Check(po, delta)
-		cr.PerOutput = append(cr.PerOutput, rep)
-		if rep.BeforeGITD != NoViolation {
-			cr.BeforeGITD = PossibleViolation
-		}
-		cr.AfterGITD = mergeStage(cr.AfterGITD, rep.AfterGITD)
-		cr.AfterStem = mergeStage(cr.AfterStem, rep.AfterStem)
-		if rep.CaseAnalysis != StageSkipped {
-			caRan = true
-			if rep.Backtracks > 0 {
-				cr.Backtracks += rep.Backtracks
-			}
-		}
-		switch rep.Final {
-		case ViolationFound:
-			cr.CaseAnalysis = ViolationFound
-			cr.Final = ViolationFound
-			if cr.WitnessOutput < 0 {
-				cr.WitnessOutput = i
-			}
-			return cr // a single witness decides the circuit check
-		case Abandoned:
-			anyAbandoned = true
-		}
-	}
-	switch {
-	case anyAbandoned:
-		cr.CaseAnalysis = Abandoned
-		cr.Final = Abandoned
-	case caRan:
-		cr.CaseAnalysis = NoViolation
-	}
-	return cr
+	return v.RunAll(context.Background(), Request{Delta: delta, Workers: 1})
 }
 
 func sortNetsByArrivalDesc(nets []circuit.NetID, a *delay.Analysis) {
@@ -163,7 +166,17 @@ func mergeStage(acc, r Result) Result {
 // CircuitFloatingDelay computes the exact floating-mode delay over all
 // outputs (max of the per-output delays), with the same exactness
 // caveat as ExactFloatingDelay.
+//
+// Deprecated: compatibility wrapper over
+// [Verifier.CircuitFloatingDelayCtx] with a background context.
 func (v *Verifier) CircuitFloatingDelay() (*DelayResult, error) {
+	return v.CircuitFloatingDelayCtx(context.Background(), Request{})
+}
+
+// CircuitFloatingDelayCtx is CircuitFloatingDelay under a context: the
+// request's Deadline, Budgets, and Tracer apply to every check, and a
+// cancellation aborts the sweep with the partial result and an error.
+func (v *Verifier) CircuitFloatingDelayCtx(ctx context.Context, req Request) (*DelayResult, error) {
 	best := &DelayResult{Delay: -1, Lower: -1}
 	// Search outputs in decreasing topological-arrival order and skip
 	// any output whose arrival (a hard upper bound on its delay) cannot
@@ -175,9 +188,24 @@ func (v *Verifier) CircuitFloatingDelay() (*DelayResult, error) {
 		if v.analysis.Arrival(po) <= best.Lower {
 			continue
 		}
-		r, err := v.ExactFloatingDelay(po)
+		r, err := v.ExactFloatingDelayCtx(ctx, po, req)
 		if err != nil {
-			return nil, err
+			// Keep the bracket established so far: it is a sound partial
+			// answer (Lower is witnessed, Delay bounds the outputs already
+			// searched) even though the sweep is incomplete.
+			if r != nil {
+				best.Checks += r.Checks
+				best.Backtracks += r.Backtracks
+				if r.Lower > best.Lower {
+					best.Lower = r.Lower
+					best.Witness = r.Witness
+				}
+				if r.Delay > best.Delay {
+					best.Delay = r.Delay
+				}
+			}
+			best.Exact = false
+			return best, err
 		}
 		best.Checks += r.Checks
 		best.Backtracks += r.Backtracks

@@ -1,0 +1,39 @@
+package core
+
+import "expvar"
+
+// Engine-wide counters published under /debug/vars when the embedding
+// process serves the default HTTP mux — the ROADMAP's multi-user
+// deployments watch these to spot checks that cancel or abandon at
+// scale. Updated once per finished check (a handful of atomic adds),
+// so they cost nothing on the per-propagation hot path.
+var (
+	expChecks       = expvar.NewInt("ltta.checks")
+	expRefuted      = expvar.NewInt("ltta.checks_refuted")
+	expViolations   = expvar.NewInt("ltta.checks_violations")
+	expAbandoned    = expvar.NewInt("ltta.checks_abandoned")
+	expCancelled    = expvar.NewInt("ltta.checks_cancelled")
+	expPropagations = expvar.NewInt("ltta.propagations")
+	expBacktracks   = expvar.NewInt("ltta.backtracks")
+	expNarrowings   = expvar.NewInt("ltta.narrowings")
+)
+
+// recordCheck publishes one finished check into the expvar counters.
+func recordCheck(rep *Report) {
+	expChecks.Add(1)
+	switch rep.Final {
+	case NoViolation:
+		expRefuted.Add(1)
+	case ViolationFound:
+		expViolations.Add(1)
+	case Abandoned:
+		expAbandoned.Add(1)
+	case Cancelled:
+		expCancelled.Add(1)
+	}
+	expPropagations.Add(rep.Propagations)
+	if rep.Backtracks > 0 {
+		expBacktracks.Add(int64(rep.Backtracks))
+	}
+	expNarrowings.Add(rep.Stats.Narrowings)
+}

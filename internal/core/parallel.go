@@ -1,8 +1,7 @@
 package core
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"repro/internal/waveform"
 )
@@ -10,78 +9,16 @@ import (
 // CheckAllParallel runs the per-output timing checks of CheckAll
 // concurrently (the verifier's preprocessing is read-only and every
 // check owns its constraint system, so checks are independent). The
-// aggregate is deterministic: verdicts are combined in primary-output
-// order regardless of completion order, and the witness output is the
-// first PO index with a violation. Unlike CheckAll it does not stop at
-// the first witness, so it does strictly more work on violating checks
-// but parallelises refutation sweeps — the common case when scanning a
-// circuit at a safe δ.
+// aggregate is deterministic and identical to the serial CheckAll:
+// verdicts combine in primary-output order regardless of completion
+// order, and once a witness is found the checks on later outputs are
+// cancelled and discarded — exactly the checks the serial sweep never
+// starts.
+//
+// Deprecated: compatibility wrapper over [Verifier.RunAll] with the
+// worker count in Request.Workers (0 = GOMAXPROCS). New code should
+// call RunAll, which additionally supports cancellation, deadlines,
+// budgets, tracing, and per-check pprof labels.
 func (v *Verifier) CheckAllParallel(delta waveform.Time, workers int) *CircuitReport {
-	pos := v.c.PrimaryOutputs()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pos) {
-		workers = len(pos)
-	}
-	if workers <= 1 {
-		return v.CheckAll(delta)
-	}
-	reports := make([]*Report, len(pos))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				reports[i] = v.Check(pos[i], delta)
-			}
-		}()
-	}
-	for i := range pos {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	cr := &CircuitReport{Delta: delta, WitnessOutput: -1,
-		BeforeGITD: NoViolation, AfterGITD: StageSkipped, AfterStem: StageSkipped,
-		CaseAnalysis: StageSkipped, Final: NoViolation}
-	anyAbandoned := false
-	caRan := false
-	for i, rep := range reports {
-		cr.PerOutput = append(cr.PerOutput, rep)
-		if rep.BeforeGITD != NoViolation {
-			cr.BeforeGITD = PossibleViolation
-		}
-		cr.AfterGITD = mergeStage(cr.AfterGITD, rep.AfterGITD)
-		cr.AfterStem = mergeStage(cr.AfterStem, rep.AfterStem)
-		if rep.CaseAnalysis != StageSkipped {
-			caRan = true
-			if rep.Backtracks > 0 {
-				cr.Backtracks += rep.Backtracks
-			}
-		}
-		switch rep.Final {
-		case ViolationFound:
-			if cr.WitnessOutput < 0 {
-				cr.WitnessOutput = i
-				cr.CaseAnalysis = ViolationFound
-				cr.Final = ViolationFound
-			}
-		case Abandoned:
-			anyAbandoned = true
-		}
-	}
-	if cr.Final != ViolationFound {
-		switch {
-		case anyAbandoned:
-			cr.CaseAnalysis = Abandoned
-			cr.Final = Abandoned
-		case caRan:
-			cr.CaseAnalysis = NoViolation
-		}
-	}
-	return cr
+	return v.RunAll(context.Background(), Request{Delta: delta, Workers: workers})
 }

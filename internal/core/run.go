@@ -1,0 +1,473 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/constraint"
+	"repro/internal/dom"
+	"repro/internal/waveform"
+)
+
+// Budgets bounds the work one check may perform. A zero field inherits
+// the corresponding Options value; a negative field means unlimited.
+// Budget exhaustion yields Abandoned (the paper's "A") — the check gave
+// up, the question is still open — whereas a deadline or context
+// cancellation yields Cancelled (see Request).
+type Budgets struct {
+	// MaxBacktracks bounds the case-analysis search.
+	MaxBacktracks int
+	// MaxStemSplits caps the stems correlated per check.
+	MaxStemSplits int
+	// MaxPropagations bounds total gate-constraint applications across
+	// all stages of the check. Options has no counterpart; 0 here means
+	// unlimited.
+	MaxPropagations int64
+}
+
+// Request describes one unit of work for Verifier.Run: a single timing
+// check (Sink, Delta), or — via RunAll — the whole-circuit sweep at
+// Delta. The zero value of every optional field is the fast path:
+// no deadline, no budgets beyond the verifier Options, no tracer.
+type Request struct {
+	// Sink is the net to check. RunAll ignores it.
+	Sink circuit.NetID
+	// Delta is the timing-check threshold δ.
+	Delta waveform.Time
+
+	// Deadline, when non-zero, is an absolute wall-clock bound on the
+	// check; past it the check returns Cancelled within a poll interval
+	// (sub-millisecond at engine propagation rates). The context passed
+	// to Run is honoured the same way, so ctx deadlines/cancellation
+	// and this field compose; whichever fires first wins.
+	Deadline time.Time
+
+	// Budgets bounds the check's work; zero fields inherit Options.
+	Budgets Budgets
+
+	// Tracer observes the pipeline. nil (the default) costs nothing.
+	Tracer Tracer
+
+	// VerifyOnly runs only the verify() procedure of Figure 4 —
+	// fixpoint plus global implications, no stem correlation or case
+	// analysis — and reports NoViolation or PossibleViolation.
+	VerifyOnly bool
+
+	// Workers fans RunAll's per-output checks over this many
+	// goroutines; 0 means GOMAXPROCS, 1 forces the serial sweep. Run
+	// ignores it (a single check is sequential).
+	Workers int
+
+	// PprofLabels tags each per-output goroutine of a parallel RunAll
+	// with a pprof label ("ltta_po" = output name) so CPU profiles
+	// attribute time to individual checks.
+	PprofLabels bool
+}
+
+// runState threads the per-check cancellation, budget, and tracing
+// state through the pipeline stages. The zero value (no context, no
+// deadline, no budgets, no tracer) is the free path.
+type runState struct {
+	ctx         context.Context // nil when not cancellable
+	deadline    time.Time
+	hasDeadline bool
+	maxProps    int64
+	maxBack     int
+	maxSplits   int
+	tracer      Tracer
+
+	cancelled bool // context cancelled or deadline exceeded
+	exhausted bool // propagation budget exhausted
+}
+
+// resolveBudget merges a request budget with the Options default:
+// 0 inherits, negative means unlimited.
+func resolveBudget(req, opt int) int {
+	switch {
+	case req < 0:
+		return 0
+	case req > 0:
+		return req
+	}
+	return opt
+}
+
+func (v *Verifier) newRunState(ctx context.Context, req *Request) *runState {
+	rs := &runState{
+		maxBack:   resolveBudget(req.Budgets.MaxBacktracks, v.opts.MaxBacktracks),
+		maxSplits: resolveBudget(req.Budgets.MaxStemSplits, v.opts.MaxStemSplits),
+		tracer:    req.Tracer,
+	}
+	if req.Budgets.MaxPropagations > 0 {
+		rs.maxProps = req.Budgets.MaxPropagations
+	}
+	if ctx != nil && ctx.Done() != nil {
+		rs.ctx = ctx
+	}
+	if !req.Deadline.IsZero() {
+		rs.deadline = req.Deadline
+		rs.hasDeadline = true
+	}
+	return rs
+}
+
+// attach installs the stop poll on the constraint system when the
+// request can actually stop early; otherwise the system keeps its
+// zero-overhead nil stop function.
+func (rs *runState) attach(sys *constraint.System) {
+	if rs.ctx == nil && !rs.hasDeadline && rs.maxProps == 0 {
+		return
+	}
+	sys.SetStopFunc(func() bool {
+		if rs.maxProps > 0 && sys.Propagations >= rs.maxProps {
+			rs.exhausted = true
+			return true
+		}
+		if rs.ctx != nil {
+			select {
+			case <-rs.ctx.Done():
+				rs.cancelled = true
+				return true
+			default:
+			}
+		}
+		if rs.hasDeadline && !time.Now().Before(rs.deadline) {
+			rs.cancelled = true
+			return true
+		}
+		return false
+	})
+}
+
+// stopVerdict translates an interrupted solver into the check verdict:
+// Cancelled for deadline/context, Abandoned for budget exhaustion.
+func (rs *runState) stopVerdict() Result {
+	if rs.cancelled {
+		return Cancelled
+	}
+	return Abandoned
+}
+
+// stoppedNow reports an already-expired request before any work starts
+// (cancelled context or past deadline), so Run returns Cancelled
+// immediately instead of after the first poll interval.
+func (rs *runState) stoppedNow() bool {
+	if rs.ctx != nil {
+		select {
+		case <-rs.ctx.Done():
+			rs.cancelled = true
+			return true
+		default:
+		}
+	}
+	if rs.hasDeadline && !time.Now().Before(rs.deadline) {
+		rs.cancelled = true
+		return true
+	}
+	return false
+}
+
+// Run executes the timing check described by req under ctx — the
+// engine's single entry point. The pipeline is the paper's: plain
+// fixpoint, global implications on timing dominators plus learning,
+// stem correlation, then case analysis, stopping at the first stage
+// that proves NoViolation. Cancellation (ctx or req.Deadline) returns
+// a report with Final == Cancelled within a poll interval; budget
+// exhaustion returns Abandoned. Check, VerifyOnly, CheckAll, and
+// CheckAllParallel are thin wrappers over Run/RunAll.
+func (v *Verifier) Run(ctx context.Context, req Request) *Report {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rs := v.newRunState(ctx, &req)
+	rep := &Report{
+		Sink: req.Sink, Delta: req.Delta,
+		AfterGITD: StageSkipped, AfterStem: StageSkipped, CaseAnalysis: StageSkipped,
+		Backtracks: -1,
+	}
+	if rs.tracer != nil {
+		rs.tracer.CheckStart(req.Sink, req.Delta)
+	}
+
+	finish := func(sys *constraint.System, final Result) *Report {
+		rep.Final = final
+		if sys != nil {
+			rep.Propagations = sys.Propagations
+			rep.Stats.Narrowings = sys.Narrowings
+			rep.Stats.QueueHighWater = sys.QueueHighWater()
+		}
+		rep.Elapsed = time.Since(start)
+		recordCheck(rep)
+		if rs.tracer != nil {
+			rs.tracer.CheckDone(rep)
+		}
+		return rep
+	}
+
+	if rs.stoppedNow() {
+		return finish(nil, Cancelled)
+	}
+
+	sys := constraint.New(v.c)
+	rs.attach(sys)
+	sys.Narrow(req.Sink, waveform.CheckOutput(req.Delta))
+	sys.ScheduleAll()
+	if v.opts.UseStaticDominators {
+		doms := dom.Static(v.c, v.analysis, req.Sink, req.Delta)
+		dom.NarrowDominators(sys, doms, req.Delta)
+	}
+
+	// stage brackets a pipeline stage with tracing and timing.
+	stage := func(st Stage, f func() Result) Result {
+		if rs.tracer != nil {
+			rs.tracer.StageEnter(st)
+		}
+		stageStart := time.Now()
+		res := f()
+		elapsed := time.Since(stageStart)
+		rep.Stats.StageTime[st] = elapsed
+		if rs.tracer != nil {
+			rs.tracer.StageExit(st, res, elapsed)
+		}
+		return res
+	}
+
+	// Stage 1: plain constraint evaluation.
+	res := stage(StagePlain, func() Result {
+		if !sys.Fixpoint() {
+			return NoViolation
+		}
+		if sys.Stopped() {
+			return rs.stopVerdict()
+		}
+		return PossibleViolation
+	})
+	rep.BeforeGITD = res
+	if res != PossibleViolation {
+		return finish(sys, res)
+	}
+
+	if req.VerifyOnly {
+		if !v.opts.UseDominators && !v.opts.UseLearning {
+			return finish(sys, PossibleViolation)
+		}
+		res = stage(StageGITD, func() Result { return v.evaluate(rs, sys, req.Sink, req.Delta, rep) })
+		rep.AfterGITD = res
+		return finish(sys, res)
+	}
+
+	// Stage 2: global implications (dominators + learning).
+	if v.opts.UseDominators || v.opts.UseLearning {
+		res = stage(StageGITD, func() Result { return v.evaluate(rs, sys, req.Sink, req.Delta, rep) })
+		rep.AfterGITD = res
+		if res != PossibleViolation {
+			return finish(sys, res)
+		}
+	}
+
+	// Stage 3: stem correlation.
+	if v.opts.UseStemCorrelation {
+		res = stage(StageStem, func() Result { return v.stemCorrelation(rs, sys, req.Sink, req.Delta, rep) })
+		rep.AfterStem = res
+		if res != PossibleViolation {
+			return finish(sys, res)
+		}
+	}
+
+	// Stage 4: case analysis.
+	res = stage(StageCase, func() Result { return v.caseAnalysis(rs, sys, req.Sink, req.Delta, rep) })
+	rep.CaseAnalysis = res
+	return finish(sys, res)
+}
+
+// RunAll runs the timing check (o, req.Delta) for every primary output
+// o under ctx and aggregates the verdicts as in Table 1. req.Sink is
+// ignored. With req.Workers != 1 the per-output checks fan out over
+// req.Workers goroutines (0 = GOMAXPROCS); the aggregate is
+// deterministic either way — identical to the serial sweep — because
+// checks are independent and deterministic, verdicts merge in
+// primary-output order, and once a witness is found every check on a
+// later output is cancelled and discarded exactly as the serial sweep
+// never would have started it.
+func (v *Verifier) RunAll(ctx context.Context, req Request) *CircuitReport {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pos := v.c.PrimaryOutputs()
+	workers := req.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pos) {
+		workers = len(pos)
+	}
+	if workers <= 1 {
+		return v.runAllSerial(ctx, req)
+	}
+	return v.runAllParallel(ctx, req, workers)
+}
+
+func (v *Verifier) runAllSerial(ctx context.Context, req Request) *CircuitReport {
+	pos := v.c.PrimaryOutputs()
+	var reports []*Report
+	for _, po := range pos {
+		r := req
+		r.Sink = po
+		rep := v.Run(ctx, r)
+		reports = append(reports, rep)
+		if rep.Final == ViolationFound || rep.Final == Cancelled {
+			break // a single witness decides the circuit check
+		}
+	}
+	return aggregateCircuit(req.Delta, reports)
+}
+
+// runAllParallel fans the per-output checks over workers goroutines.
+// When a check witnesses a violation, all checks on later outputs are
+// cancelled (their results cannot change the first-PO-wins aggregate);
+// checks on earlier outputs keep running because a smaller witness
+// index would supersede. The kept prefix of reports — up to and
+// including the smallest witnessing output — is exactly the sequence
+// the serial sweep produces.
+func (v *Verifier) runAllParallel(ctx context.Context, req Request, workers int) *CircuitReport {
+	pos := v.c.PrimaryOutputs()
+	reports := make([]*Report, len(pos))
+
+	var mu sync.Mutex
+	witness := len(pos) // smallest witnessing index seen so far
+	cancels := make([]context.CancelFunc, len(pos))
+
+	// abandonAfter cancels every running check on an output after idx.
+	abandonAfter := func(idx int) {
+		for j := idx + 1; j < len(cancels); j++ {
+			if cancels[j] != nil {
+				cancels[j]()
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mu.Lock()
+				if i > witness {
+					mu.Unlock()
+					continue // a smaller output already witnessed
+				}
+				cctx, cancel := context.WithCancel(ctx)
+				cancels[i] = cancel
+				mu.Unlock()
+
+				r := req
+				r.Sink = pos[i]
+				var rep *Report
+				if req.PprofLabels {
+					pprof.Do(cctx, pprof.Labels("ltta_po", v.c.Net(pos[i]).Name), func(lctx context.Context) {
+						rep = v.Run(lctx, r)
+					})
+				} else {
+					rep = v.Run(cctx, r)
+				}
+
+				mu.Lock()
+				cancels[i] = nil
+				reports[i] = rep
+				if rep.Final == ViolationFound && i < witness {
+					witness = i
+					abandonAfter(i)
+				}
+				mu.Unlock()
+				cancel()
+			}
+		}()
+	}
+	for i := range pos {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Keep the serial prefix: everything up to the smallest witnessing
+	// output (or everything when no witness). Reports after the witness
+	// — completed or cancelled — are discarded, matching the serial
+	// sweep that never runs them.
+	kept := reports
+	if witness < len(pos) {
+		kept = reports[:witness+1]
+	}
+	return aggregateCircuit(req.Delta, kept)
+}
+
+// aggregateCircuit merges per-output reports (a prefix of the primary
+// outputs, in order) into the Table-1 aggregate. Shared by the serial
+// and parallel sweeps so the two are identical by construction.
+func aggregateCircuit(delta waveform.Time, reports []*Report) *CircuitReport {
+	cr := &CircuitReport{Delta: delta, WitnessOutput: -1,
+		BeforeGITD: NoViolation, AfterGITD: StageSkipped, AfterStem: StageSkipped,
+		CaseAnalysis: StageSkipped, Final: NoViolation}
+	anyAbandoned := false
+	anyCancelled := false
+	caRan := false
+	caOpen := false // a CA run was interrupted before concluding
+	for i, rep := range reports {
+		cr.PerOutput = append(cr.PerOutput, rep)
+		if rep.BeforeGITD != NoViolation {
+			cr.BeforeGITD = PossibleViolation
+		}
+		cr.AfterGITD = mergeStage(cr.AfterGITD, rep.AfterGITD)
+		cr.AfterStem = mergeStage(cr.AfterStem, rep.AfterStem)
+		if rep.CaseAnalysis != StageSkipped {
+			caRan = true
+			if rep.CaseAnalysis == Cancelled {
+				caOpen = true
+			}
+			if rep.Backtracks > 0 {
+				cr.Backtracks += rep.Backtracks
+			}
+		}
+		cr.Propagations += rep.Propagations
+		cr.Dominators += rep.Dominators
+		cr.DominatorRounds += rep.DominatorRounds
+		switch rep.Final {
+		case ViolationFound:
+			if cr.WitnessOutput < 0 {
+				cr.WitnessOutput = i
+				cr.CaseAnalysis = ViolationFound
+				cr.Final = ViolationFound
+			}
+		case Abandoned:
+			anyAbandoned = true
+		case Cancelled:
+			anyCancelled = true
+		}
+	}
+	if cr.Final != ViolationFound {
+		switch {
+		case anyCancelled:
+			// A cancellation mid-case-analysis leaves that stage's question
+			// open; CA runs that concluded on other outputs still merge N.
+			switch {
+			case caOpen:
+				cr.CaseAnalysis = PossibleViolation
+			case caRan:
+				cr.CaseAnalysis = NoViolation
+			}
+			cr.Final = Cancelled
+		case anyAbandoned:
+			cr.CaseAnalysis = Abandoned
+			cr.Final = Abandoned
+		case caRan:
+			cr.CaseAnalysis = NoViolation
+		}
+	}
+	return cr
+}

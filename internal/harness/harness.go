@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -50,6 +51,20 @@ func Table1(entries []gen.SuiteEntry, budget int) []Table1Row {
 	return rows
 }
 
+// RowOption customises the engine requests issued by
+// CircuitRowsParallel (tracing, pprof labels, …).
+type RowOption func(*core.Request)
+
+// WithTracer attaches a tracer to every check behind the rows.
+func WithTracer(t core.Tracer) RowOption {
+	return func(r *core.Request) { r.Tracer = t }
+}
+
+// WithPprofLabels tags parallel per-output checks with pprof labels.
+func WithPprofLabels() RowOption {
+	return func(r *core.Request) { r.PprofLabels = true }
+}
+
 // CircuitRows computes the exact circuit floating delay and produces
 // the (δ+1, δ) row pair for one circuit, mirroring the paper's
 // protocol: the δ+1 check shows which stage refutes, the δ check shows
@@ -59,14 +74,24 @@ func CircuitRows(name string, c *circuit.Circuit, budget int) []Table1Row {
 }
 
 // CircuitRowsParallel is CircuitRows with the per-output checks of the
-// two row evaluations fanned out over the given worker count.
-func CircuitRowsParallel(name string, c *circuit.Circuit, budget, workers int) []Table1Row {
+// two row evaluations fanned out over the given worker count, an
+// optional per-check deadline, and an optional tracer observing every
+// check (both may be nil/zero).
+func CircuitRowsParallel(name string, c *circuit.Circuit, budget, workers int, extras ...RowOption) []Table1Row {
 	opts := core.Default()
 	opts.MaxBacktracks = budget
 	v := core.NewVerifier(c, opts)
 	top := v.Topological()
 
-	res, err := v.CircuitFloatingDelay()
+	req := core.Request{Workers: workers}
+	if workers <= 1 {
+		req.Workers = 1
+	}
+	for _, o := range extras {
+		o(&req)
+	}
+
+	res, err := v.CircuitFloatingDelayCtx(context.Background(), req)
 	if err != nil {
 		panic("harness: " + err.Error())
 	}
@@ -86,10 +111,9 @@ func CircuitRowsParallel(name string, c *circuit.Circuit, budget, workers int) [
 	}
 
 	checkAll := func(d waveform.Time) *core.CircuitReport {
-		if workers > 1 {
-			return v.CheckAllParallel(d, workers)
-		}
-		return v.CheckAll(d)
+		r := req
+		r.Delta = d
+		return v.RunAll(context.Background(), r)
 	}
 	start := time.Now()
 	crHigh := checkAll(delta + 1)
