@@ -254,6 +254,39 @@ func BenchmarkRunAllParallelC880(b *testing.B) {
 	}
 }
 
+// --- E7: cone-sliced solving ---------------------------------------------
+//
+// Whole-circuit vs fan-in-cone solving on a multi-output industrial
+// block at δ = top+1 (every check refuted; the verdicts are asserted
+// identical by TestConeDifferentialParallelRunAll and friends). The
+// block's outputs see only a fraction of the netlist each, so the cone
+// configuration should win on both time and allocations. One warmup
+// sweep outside the timer pays the per-sink cone construction once —
+// steady state is what a delay search or repeated sweep observes.
+
+func benchIndustrialSweep(b *testing.B, cone bool) {
+	c := gen.Industrial(7, 48, 10)
+	opts := core.Default()
+	opts.UseConeSlicing = cone
+	v := core.NewVerifier(c, opts)
+	delta := v.Topological() + 1
+	ctx := context.Background()
+	req := core.Request{Delta: delta, Workers: 1}
+	if v.RunAll(ctx, req).Final != core.NoViolation {
+		b.Fatal("δ=top+1 must be refuted")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.RunAll(ctx, req).Final != core.NoViolation {
+			b.Fatal("δ=top+1 must be refuted")
+		}
+	}
+}
+
+func BenchmarkIndustrialSweepWhole(b *testing.B) { benchIndustrialSweep(b, false) }
+func BenchmarkIndustrialSweepCone(b *testing.B)  { benchIndustrialSweep(b, true) }
+
 // --- substrate micro-benchmarks ------------------------------------------
 
 func BenchmarkFixpointCarrySkip16(b *testing.B) {

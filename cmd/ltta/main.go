@@ -65,6 +65,8 @@ func main() {
 	noDom := flag.Bool("no-dominators", false, "disable dynamic timing dominators")
 	noLearn := flag.Bool("no-learning", false, "disable static learning")
 	noStem := flag.Bool("no-stems", false, "disable stem correlation")
+	cone := flag.Bool("cone", true, "solve each check on the sink's fan-in cone")
+	noCone := flag.Bool("no-cone", false, "solve every check on the whole circuit (overrides -cone)")
 	sdfFile := flag.String("sdf", "", "back-annotate gate delays from an SDF file")
 	trace := flag.Bool("trace", false, "stream engine trace events as text (plus the plain-fixpoint narrowing listing on single-output -delta checks)")
 	traceJSON := flag.Bool("trace-json", false, "stream engine trace events as JSON")
@@ -137,6 +139,7 @@ func main() {
 	opts.UseDominators = !*noDom
 	opts.UseLearning = !*noLearn
 	opts.UseStemCorrelation = !*noStem
+	opts.UseConeSlicing = *cone && !*noCone
 	v := core.NewVerifier(c, opts)
 	fmt.Printf("topological delay: %s\n", v.Topological())
 

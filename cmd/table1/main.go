@@ -26,6 +26,7 @@ func main() {
 	workers := flag.Int("parallel", 1, "fan per-output checks over N workers (verdicts unchanged)")
 	stats := flag.Bool("stats", false, "print aggregated engine telemetry after the table")
 	pprofLabels := flag.Bool("pprof-labels", false, "tag parallel per-output checks with pprof labels")
+	noCone := flag.Bool("no-cone", false, "solve every check on the whole circuit instead of the sink's fan-in cone")
 	flag.Parse()
 
 	entries := gen.SubstituteSuite()
@@ -56,6 +57,9 @@ func main() {
 	}
 	if *pprofLabels {
 		opts = append(opts, harness.WithPprofLabels())
+	}
+	if *noCone {
+		opts = append(opts, harness.WithoutConeSlicing())
 	}
 	var rows []harness.Table1Row
 	for _, e := range entries {

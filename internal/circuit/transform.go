@@ -110,11 +110,48 @@ func MapToNOR(c *Circuit, d int64) (*Circuit, error) {
 // this the standard debugging and speed lever for single-output
 // verification on wide designs.
 func ExtractCone(c *Circuit, sink NetID) (*Circuit, error) {
+	cone, _, err := ExtractConeMapped(c, sink)
+	return cone, err
+}
+
+// ConeMap relates a cone slice produced by ExtractConeMapped to the
+// circuit it was cut from.
+type ConeMap struct {
+	// ToCone maps original net ids to cone net ids; InvalidNet for nets
+	// outside the cone.
+	ToCone []NetID
+	// FromCone maps cone net ids back to original ids. The cone
+	// declares its nets in increasing original-id order, so FromCone is
+	// strictly increasing: every relative id comparison (decision
+	// tie-breaks, stem ordering, objective sorts) agrees between the
+	// cone and the original circuit.
+	FromCone []NetID
+	// PIIndex maps cone primary-input positions to original
+	// primary-input positions, for test-vector translation.
+	PIIndex []int
+	// Sink is the cone-local id of the extracted output.
+	Sink NetID
+}
+
+// ExtractConeMapped is ExtractCone returning, in addition, the net-id
+// translation between the cone and the original circuit. The slice
+// preserves everything a timing check observes: gate types and both
+// delay bounds (d_max and d_min), primary-input status, topological
+// gate order, and the relative order of net ids.
+func ExtractConeMapped(c *Circuit, sink NetID) (*Circuit, *ConeMap, error) {
 	mask := c.TransitiveFanin(sink)
 	b := NewBuilder(c.Name + "_cone_" + c.Net(sink).Name)
-	for _, pi := range c.PrimaryInputs() {
-		if mask[pi] {
-			b.Input(c.Net(pi).Name)
+	// Declare every cone net in increasing original-id order before any
+	// gate mentions it, so cone ids are assigned in that same order.
+	for i := range mask {
+		if !mask[i] {
+			continue
+		}
+		n := c.Net(NetID(i))
+		if n.IsPI {
+			b.Input(n.Name)
+		} else {
+			b.Net(n.Name)
 		}
 	}
 	for _, gid := range c.TopoGates() {
@@ -129,7 +166,52 @@ func ExtractCone(c *Circuit, sink NetID) (*Circuit, error) {
 		b.Gate(g.Type, g.Delay, c.Net(g.Output).Name, in...)
 	}
 	b.Output(c.Net(sink).Name)
-	return b.Build()
+	cone, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Builder.Gate defaults d_min to the d_max argument; carry over the
+	// original bounds (SDF back-annotation can set them apart). Cone
+	// gate ids follow insertion order, which is the masked original
+	// topological order above.
+	j := GateID(0)
+	for _, gid := range c.TopoGates() {
+		g := c.Gate(gid)
+		if !mask[g.Output] {
+			continue
+		}
+		cone.Gate(j).DMin = g.DMin
+		j++
+	}
+	cm := &ConeMap{
+		ToCone:   make([]NetID, c.NumNets()),
+		FromCone: make([]NetID, cone.NumNets()),
+	}
+	for i := range cm.ToCone {
+		cm.ToCone[i] = InvalidNet
+	}
+	for i := range mask {
+		if !mask[i] {
+			continue
+		}
+		id, ok := cone.NetByName(c.Net(NetID(i)).Name)
+		if !ok {
+			return nil, nil, fmt.Errorf("ExtractConeMapped: cone of %q lost net %q",
+				c.Net(sink).Name, c.Net(NetID(i)).Name)
+		}
+		cm.ToCone[i] = id
+		cm.FromCone[id] = NetID(i)
+	}
+	origPIPos := make(map[NetID]int, len(c.PrimaryInputs()))
+	for i, pi := range c.PrimaryInputs() {
+		origPIPos[pi] = i
+	}
+	cm.PIIndex = make([]int, len(cone.PrimaryInputs()))
+	for i, pi := range cone.PrimaryInputs() {
+		cm.PIIndex[i] = origPIPos[cm.FromCone[pi]]
+	}
+	cm.Sink = cm.ToCone[sink]
+	return cone, cm, nil
 }
 
 // WithUniformDelay returns a copy of the circuit with every gate's

@@ -1,0 +1,121 @@
+package constraint
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/waveform"
+)
+
+func chainCircuit(t testing.TB, n int) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder(fmt.Sprintf("chain%d", n))
+	b.Input("n0")
+	for i := 1; i <= n; i++ {
+		b.Gate(circuit.NOT, 1, fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i-1))
+	}
+	b.Output(fmt.Sprintf("n%d", n))
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestWorklistRingFIFO drives the head-index ring directly: FIFO
+// order, pending counts, reset on drain, and high-water measured in
+// pending entries rather than cumulative pushes.
+func TestWorklistRingFIFO(t *testing.T) {
+	s := New(chainCircuit(t, 8))
+	for i := 0; i < 8; i++ {
+		s.schedule(circuit.GateID(i))
+	}
+	s.schedule(circuit.GateID(3)) // pending duplicate must not re-enqueue
+	if got := s.pending(); got != 8 {
+		t.Fatalf("pending = %d, want 8", got)
+	}
+	for i := 0; i < 8; i++ {
+		g := s.pop()
+		s.inQueue[g] = false
+		if g != circuit.GateID(i) {
+			t.Fatalf("pop %d returned gate %d, want %d", i, g, i)
+		}
+	}
+	if s.pending() != 0 || s.qhead != 0 || len(s.queue) != 0 {
+		t.Fatalf("drained ring not reset: qhead=%d len=%d", s.qhead, len(s.queue))
+	}
+	if hw := s.QueueHighWater(); hw != 8 {
+		t.Fatalf("QueueHighWater = %d, want 8", hw)
+	}
+	s.schedule(0)
+	s.schedule(1)
+	s.inQueue[s.pop()] = false
+	s.schedule(2)
+	if hw := s.QueueHighWater(); hw != 8 {
+		t.Fatalf("QueueHighWater after interleaving = %d, want 8 (peak pending)", hw)
+	}
+}
+
+// TestWorklistRingCompaction checks the in-place compaction that
+// bounds the ring's dead prefix: once the prefix passes
+// queueCompactMin and outweighs the live tail, the tail moves to the
+// front with order preserved.
+func TestWorklistRingCompaction(t *testing.T) {
+	const n = 256
+	s := New(chainCircuit(t, n))
+	for i := 0; i < n; i++ {
+		s.schedule(circuit.GateID(i))
+	}
+	// Compaction fires on the pop that leaves qhead = 129 (≥ 64 dead,
+	// dead > live tail of 127).
+	for i := 0; i < 129; i++ {
+		g := s.pop()
+		s.inQueue[g] = false
+		if g != circuit.GateID(i) {
+			t.Fatalf("pop %d returned gate %d", i, g)
+		}
+	}
+	if s.qhead != 0 || len(s.queue) != n-129 {
+		t.Fatalf("expected compaction at dead prefix 129/%d: qhead=%d len=%d", n, s.qhead, len(s.queue))
+	}
+	for i := 129; i < n; i++ {
+		g := s.pop()
+		s.inQueue[g] = false
+		if g != circuit.GateID(i) {
+			t.Fatalf("post-compaction pop returned gate %d, want %d", g, i)
+		}
+	}
+	if s.pending() != 0 {
+		t.Fatalf("pending = %d after full drain, want 0", s.pending())
+	}
+}
+
+// TestFixpointSteadyStateAllocs is the regression test for the old
+// FIFO drain (s.queue = s.queue[1:]), which permanently consumed
+// backing-array capacity as the window slid off the front and forced
+// every later ScheduleAll to reallocate — unbounded cumulative
+// allocation over long runs. With the head-index ring, a warmed
+// system runs whole mark/narrow/fixpoint/undo cycles without
+// allocating at all (domains and waves are value types; the queue,
+// trail, and scratch buffers are reused).
+func TestFixpointSteadyStateAllocs(t *testing.T) {
+	const n = 512
+	c := chainCircuit(t, n)
+	po, ok := c.NetByName(fmt.Sprintf("n%d", n))
+	if !ok {
+		t.Fatal("missing chain output")
+	}
+	s := New(c)
+	cycle := func() {
+		s.Mark()
+		s.Narrow(po, waveform.CheckOutput(5))
+		s.ScheduleAll()
+		s.Fixpoint()
+		s.Undo()
+	}
+	cycle() // warm up: size the queue and trail once
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Fatalf("steady-state fixpoint cycle allocates %.1f objects/run, want 0", allocs)
+	}
+}

@@ -20,7 +20,12 @@ type System struct {
 	c   *circuit.Circuit
 	dom []waveform.Signal
 
+	// queue with qhead form a head-index ring: pops advance qhead
+	// instead of re-slicing the front, so the backing array is reused
+	// across fixpoints instead of being consumed (and reallocated)
+	// every time the window slides off it.
 	queue   []circuit.GateID
+	qhead   int
 	inQueue []bool
 	mode    ScheduleMode
 	topoPos []int32
@@ -106,9 +111,16 @@ func (s *System) SetStopFunc(f func() bool) { s.stopFn = f }
 // Stopped reports whether a stop function interrupted the solver.
 func (s *System) Stopped() bool { return s.stopped }
 
-// QueueHighWater returns the largest worklist length observed — a
-// measure of how bursty constraint propagation was for this check.
+// QueueHighWater returns the largest number of pending worklist
+// entries observed — a measure of how bursty constraint propagation
+// was for this check.
 func (s *System) QueueHighWater() int { return s.queueHighWater }
+
+// queueCompactMin is the minimum dead prefix before pop compacts the
+// ring in place. Compaction copies the live tail to the front only
+// when the dead prefix outweighs it, so each element is moved at most
+// once per cap-sized window: amortised O(1) per pop, bounded memory.
+const queueCompactMin = 64
 
 // schedule enqueues gate g unless it is already pending.
 func (s *System) schedule(g circuit.GateID) {
@@ -117,9 +129,29 @@ func (s *System) schedule(g circuit.GateID) {
 	}
 	s.inQueue[g] = true
 	s.queue = append(s.queue, g)
-	if len(s.queue) > s.queueHighWater {
-		s.queueHighWater = len(s.queue)
+	if p := len(s.queue) - s.qhead; p > s.queueHighWater {
+		s.queueHighWater = p
 	}
+}
+
+// pending reports the number of enqueued gates.
+func (s *System) pending() int { return len(s.queue) - s.qhead }
+
+// pop removes and returns the oldest pending gate. The caller must
+// know the queue is non-empty.
+func (s *System) pop() circuit.GateID {
+	g := s.queue[s.qhead]
+	s.qhead++
+	switch {
+	case s.qhead == len(s.queue):
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	case s.qhead >= queueCompactMin && s.qhead > len(s.queue)-s.qhead:
+		n := copy(s.queue, s.queue[s.qhead:])
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+	return g
 }
 
 // ScheduleAll enqueues every gate constraint (used for the initial
@@ -200,12 +232,11 @@ func (s *System) Fixpoint() bool {
 	if s.mode == Sweep {
 		return s.fixpointSweep()
 	}
-	for len(s.queue) > 0 && !s.inconsistent {
+	for s.pending() > 0 && !s.inconsistent {
 		if s.stopFn != nil && s.pollStop() {
 			break
 		}
-		g := s.queue[0]
-		s.queue = s.queue[1:]
+		g := s.pop()
 		s.inQueue[g] = false
 		s.Propagations++
 		s.applyGate(g)
@@ -236,10 +267,10 @@ func (s *System) fixpointSweep() bool {
 		}
 	}
 	forward := true
-	batch := make([]circuit.GateID, 0, len(s.queue))
-	for len(s.queue) > 0 && !s.inconsistent {
-		batch = append(batch[:0], s.queue...)
-		s.queue = s.queue[:0]
+	batch := make([]circuit.GateID, 0, s.pending())
+	for s.pending() > 0 && !s.inconsistent {
+		batch = append(batch[:0], s.queue[s.qhead:]...)
+		s.queue, s.qhead = s.queue[:0], 0
 		for _, g := range batch {
 			s.inQueue[g] = false
 		}
@@ -266,10 +297,10 @@ func (s *System) fixpointSweep() bool {
 func (s *System) finishFixpoint() bool {
 	if s.inconsistent {
 		// Drain so a later resume starts clean.
-		for _, g := range s.queue {
+		for _, g := range s.queue[s.qhead:] {
 			s.inQueue[g] = false
 		}
-		s.queue = s.queue[:0]
+		s.queue, s.qhead = s.queue[:0], 0
 		return false
 	}
 	return true
@@ -295,10 +326,10 @@ func (s *System) Undo() {
 	})
 	s.inconsistent = false
 	s.emptyNet = circuit.InvalidNet
-	for _, g := range s.queue {
+	for _, g := range s.queue[s.qhead:] {
 		s.inQueue[g] = false
 	}
-	s.queue = s.queue[:0]
+	s.queue, s.qhead = s.queue[:0], 0
 }
 
 // Levels returns the number of open decision levels.

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/sim"
+	"repro/internal/waveform"
+)
+
+// conePair builds two verifiers over one shared Prepared: one solving
+// each check on the sink's fan-in cone, one on the whole circuit.
+// Sharing the precompute is the production configuration — the
+// differential below must hold with the caches in play.
+func conePair(c *circuit.Circuit, budget int) (cone, whole *Verifier) {
+	prep := Prepare(c)
+	opts := Default()
+	opts.MaxBacktracks = budget
+	cone = prep.NewVerifier(opts)
+	opts.UseConeSlicing = false
+	whole = prep.NewVerifier(opts)
+	return cone, whole
+}
+
+// checkWitness validates a violation witness against the ORIGINAL
+// circuit: right vector width (cone witnesses are expanded back to the
+// full primary-input order) and a simulated settle time that both
+// matches the report and actually realises the violation.
+func checkWitness(t *testing.T, c *circuit.Circuit, label string, rep *Report) {
+	t.Helper()
+	if rep.Final != ViolationFound {
+		return
+	}
+	if len(rep.Witness) != len(c.PrimaryInputs()) {
+		t.Fatalf("%s: witness width %d, circuit has %d PIs", label, len(rep.Witness), len(c.PrimaryInputs()))
+	}
+	res, err := sim.Run(c, rep.Witness)
+	if err != nil {
+		t.Fatalf("%s: witness does not simulate: %v", label, err)
+	}
+	if got := res.OutputSettle(rep.Sink); got != rep.WitnessSettle {
+		t.Fatalf("%s: reported settle %s, simulation says %s", label, rep.WitnessSettle, got)
+	}
+	if !res.Violates(rep.Sink, rep.Delta) {
+		t.Fatalf("%s: witness settles at %s, no violation at δ=%s", label, res.OutputSettle(rep.Sink), rep.Delta)
+	}
+}
+
+// diffReports asserts cone and whole-circuit runs of the same check
+// agree on everything observable: the sink (in original ids), every
+// stage verdict, the final verdict, and — when a vector was found —
+// that both witnesses are valid on the original circuit. Witness BYTES
+// are not compared (two distinct valid vectors are both correct), and
+// neither are backtrack or propagation counts (the cone does strictly
+// less work).
+func diffReports(t *testing.T, c *circuit.Circuit, label string, cone, whole *Report) {
+	t.Helper()
+	if cone.Sink != whole.Sink || cone.Delta != whole.Delta {
+		t.Fatalf("%s: check identity differs: (%v,%s) vs (%v,%s)",
+			label, cone.Sink, cone.Delta, whole.Sink, whole.Delta)
+	}
+	if cone.Final != whole.Final {
+		t.Fatalf("%s: final verdict differs: cone %s, whole %s", label, cone.Final, whole.Final)
+	}
+	if cone.BeforeGITD != whole.BeforeGITD || cone.AfterGITD != whole.AfterGITD ||
+		cone.AfterStem != whole.AfterStem || cone.CaseAnalysis != whole.CaseAnalysis {
+		t.Fatalf("%s: stage outcomes differ:\ncone  %s %s %s %s\nwhole %s %s %s %s",
+			label,
+			cone.BeforeGITD, cone.AfterGITD, cone.AfterStem, cone.CaseAnalysis,
+			whole.BeforeGITD, whole.AfterGITD, whole.AfterStem, whole.CaseAnalysis)
+	}
+	checkWitness(t, c, label+" (cone)", cone)
+	checkWitness(t, c, label+" (whole)", whole)
+}
+
+// TestConeDifferentialSuite runs every primary output of every suite
+// circuit at several δ through both configurations and requires
+// identical verdicts and stage outcomes. δ = top+1 must additionally
+// be NoViolation everywhere (topological delay is a sound bound).
+func TestConeDifferentialSuite(t *testing.T) {
+	ctx := context.Background()
+	for _, e := range gen.SubstituteSuite() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			budget := 50000
+			if e.Name == "c6288" {
+				budget = 500 // the paper abandons c6288-class searches too
+			}
+			cv, wv := conePair(e.Circuit, budget)
+			top := cv.Topological()
+			deltas := []waveform.Time{top + 1, top}
+			if !testing.Short() {
+				deltas = append(deltas, top*3/4)
+			}
+			for _, d := range deltas {
+				for _, po := range e.Circuit.PrimaryOutputs() {
+					req := Request{Sink: po, Delta: d}
+					a := cv.Run(ctx, req)
+					b := wv.Run(ctx, req)
+					label := e.Name + " " + e.Circuit.Net(po).Name + " δ=" + d.String()
+					diffReports(t, e.Circuit, label, a, b)
+					if d == top+1 && a.Final != NoViolation {
+						t.Fatalf("%s: beyond-top check must refute, got %s", label, a.Final)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConeDifferentialParallelRunAll exercises the concurrent cone
+// cache: a parallel cone-sliced sweep against a serial whole-circuit
+// sweep must produce the same aggregate and the same per-output
+// verdicts. Run under -race this also checks the lazy per-sink cone
+// construction for data races.
+func TestConeDifferentialParallelRunAll(t *testing.T) {
+	ctx := context.Background()
+	c := gen.Industrial(3, 24, 10)
+	cv, wv := conePair(c, 50000)
+	top := cv.Topological()
+	for _, d := range []waveform.Time{top + 1, top} {
+		par := cv.RunAll(ctx, Request{Delta: d, Workers: 4})
+		ser := wv.RunAll(ctx, Request{Delta: d, Workers: 1})
+		if par.Final != ser.Final || par.BeforeGITD != ser.BeforeGITD ||
+			par.AfterGITD != ser.AfterGITD || par.AfterStem != ser.AfterStem ||
+			par.CaseAnalysis != ser.CaseAnalysis {
+			t.Fatalf("δ=%s: aggregate differs: cone/parallel %s vs whole/serial %s", d, par.Final, ser.Final)
+		}
+		for i := range ser.PerOutput {
+			diffReports(t, c, "industrial PO "+c.Net(c.PrimaryOutputs()[i]).Name+" δ="+d.String(),
+				par.PerOutput[i], ser.PerOutput[i])
+		}
+	}
+}
+
+// TestConeDelayBracketDifferential compares the binary-search delay
+// calculators — per-output exact search and the circuit-level bracket,
+// both of which issue many checks through Run — between cone and
+// whole-circuit solving.
+func TestConeDelayBracketDifferential(t *testing.T) {
+	ctx := context.Background()
+	for _, c := range []*circuit.Circuit{
+		gen.Industrial(1, 8, 10),
+		gen.Industrial(5, 12, 7),
+	} {
+		cv, wv := conePair(c, 50000)
+		a, err := cv.CircuitFloatingDelayCtx(ctx, Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := wv.CircuitFloatingDelayCtx(ctx, Request{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Delay != b.Delay || a.Exact != b.Exact || a.Lower != b.Lower {
+			t.Fatalf("%s: circuit bracket differs: cone [%s,%s] exact=%v, whole [%s,%s] exact=%v",
+				c.Name, a.Lower, a.Delay, a.Exact, b.Lower, b.Delay, b.Exact)
+		}
+		for _, po := range c.PrimaryOutputs() {
+			ra, err := cv.ExactFloatingDelayCtx(ctx, po, Request{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := wv.ExactFloatingDelayCtx(ctx, po, Request{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ra.Delay != rb.Delay || ra.Exact != rb.Exact {
+				t.Fatalf("%s %s: exact delay differs: cone %s (exact=%v), whole %s (exact=%v)",
+					c.Name, c.Net(po).Name, ra.Delay, ra.Exact, rb.Delay, rb.Exact)
+			}
+			if ra.Exact && len(ra.Witness) > 0 {
+				res, err := sim.Run(c, ra.Witness)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.OutputSettle(po) != ra.Delay {
+					t.Fatalf("%s %s: cone delay witness settles at %s, want %s",
+						c.Name, c.Net(po).Name, res.OutputSettle(po), ra.Delay)
+				}
+			}
+		}
+	}
+}
+
+// FuzzConeEquivalence throws random circuits at both configurations.
+// Random netlists can contain structurally constant nets (duplicate
+// XOR inputs), which makes the projected learning table's folded
+// constants load-bearing. Only the FINAL verdict and witness validity
+// are asserted here: intermediate stage outcomes are allowed to differ
+// on adversarial constant-bearing circuits (the cone cannot see
+// implications flowing through gates outside it), final verdicts are
+// not — case analysis is complete and witnesses are sim-certified.
+func FuzzConeEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(24), int64(35))
+	f.Add(int64(7), uint8(6), uint8(48), int64(20))
+	f.Add(int64(42), uint8(3), uint8(12), int64(50))
+	f.Add(int64(1234), uint8(0), uint8(0), int64(0))
+	f.Fuzz(func(t *testing.T, seed int64, npi, ngates uint8, delta int64) {
+		c := gen.Random(seed, 2+int(npi%8), 4+int(ngates%60), 10)
+		cv, wv := conePair(c, 5000)
+		top := cv.Topological()
+		if delta < 0 {
+			delta = -delta
+		}
+		d := waveform.Time(delta % (int64(top) + 3))
+		ctx := context.Background()
+		for _, po := range c.PrimaryOutputs() {
+			req := Request{Sink: po, Delta: d}
+			a := cv.Run(ctx, req)
+			b := wv.Run(ctx, req)
+			if a.Final != b.Final {
+				t.Fatalf("seed=%d PO %s δ=%s: cone %s, whole %s",
+					seed, c.Net(po).Name, d, a.Final, b.Final)
+			}
+			checkWitness(t, c, "fuzz cone", a)
+			checkWitness(t, c, "fuzz whole", b)
+		}
+	})
+}

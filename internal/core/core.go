@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/circuit"
@@ -81,6 +82,17 @@ type Options struct {
 	// UseStemCorrelation enables the reconvergent-stem correlation
 	// preprocessing of Section 5.
 	UseStemCorrelation bool
+	// UseConeSlicing solves each check on the sink's transitive fan-in
+	// cone instead of the whole circuit. The cone contains every net
+	// the check can constrain — a gate whose output lies in the cone
+	// has all of its inputs in the cone, so no information can flow
+	// back in from the unconstrained region outside it — which makes
+	// the sliced check verdict-equivalent while the per-check system
+	// shrinks to the sink's own logic on wide multi-output circuits.
+	// Witnesses, traces, and dominator sets are translated back to
+	// original-circuit ids. On by default in Default(); the front ends
+	// expose -no-cone as the escape hatch.
+	UseConeSlicing bool
 	// MaxBacktracks bounds the case analysis; beyond it the check is
 	// Abandoned.
 	MaxBacktracks int
@@ -96,32 +108,35 @@ func Default() Options {
 		UseDominators:      true,
 		UseLearning:        true,
 		UseStemCorrelation: true,
+		UseConeSlicing:     true,
 		MaxBacktracks:      200000,
 		MaxStemSplits:      64,
 	}
 }
 
-// Verifier holds per-circuit preprocessing shared across checks.
+// Verifier holds per-circuit preprocessing shared across checks. All
+// of its static state comes from a Prepared, so several verifiers
+// (different option sets, cone sub-verifiers) share one precompute.
 type Verifier struct {
 	c    *circuit.Circuit
 	opts Options
 
+	prep     *Prepared // shared precompute; nil on cone sub-verifiers
 	analysis *delay.Analysis
 	cc       *scoap.Controllability
 	table    *learn.Table    // nil unless UseLearning
 	stems    []circuit.NetID // cached reconvergent fanout stems
+
+	coneMu sync.Mutex
+	cones  map[circuit.NetID]*coneVerifier
 }
 
 // NewVerifier prepares a verifier for the circuit (computing arrival
 // times, SCOAP controllabilities, and — if enabled — the static
-// learning table).
+// learning table). It is Prepare(c).NewVerifier(opts); call Prepare
+// directly to share the precompute across several option sets.
 func NewVerifier(c *circuit.Circuit, opts Options) *Verifier {
-	v := &Verifier{c: c, opts: opts, analysis: delay.New(c), cc: scoap.Compute(c)}
-	v.stems = c.ReconvergentStems()
-	if opts.UseLearning {
-		v.table = learn.Precompute(c)
-	}
-	return v
+	return Prepare(c).NewVerifier(opts)
 }
 
 // Circuit returns the verifier's netlist.
@@ -161,6 +176,10 @@ type Report struct {
 	// Dominators is the number of dynamic timing dominators seen on the
 	// first dominator round (the c1908 anecdote statistic).
 	Dominators int
+	// DominatorSet lists those first-round dominators (source-first,
+	// with their distance bounds), always in original-circuit ids —
+	// cone-sliced checks translate them back before reporting.
+	DominatorSet dom.Dominators
 	// DominatorRounds counts evaluate-loop iterations that applied
 	// dominator narrowing.
 	DominatorRounds int
@@ -218,6 +237,7 @@ func (v *Verifier) evaluate(rs *runState, sys *constraint.System, sink circuit.N
 			doms := dom.Dynamic(sys, sink, delta)
 			if rep.Dominators == 0 {
 				rep.Dominators = len(doms.Nets)
+				rep.DominatorSet = doms
 			}
 			narrowed := dom.NarrowDominators(sys, doms, delta)
 			if narrowed {

@@ -179,7 +179,24 @@ func (rs *runState) stoppedNow() bool {
 // a report with Final == Cancelled within a poll interval; budget
 // exhaustion returns Abandoned. Check, VerifyOnly, CheckAll, and
 // CheckAllParallel are thin wrappers over Run/RunAll.
+//
+// With Options.UseConeSlicing the check is solved on the sink's
+// fan-in cone slice (cached per sink on the shared Prepared) and the
+// report — sink, witness, dominator set, trace events — is translated
+// back to original-circuit ids; see runCone. Sinks whose cone spans
+// the whole circuit solve on the original system directly.
 func (v *Verifier) Run(ctx context.Context, req Request) *Report {
+	if v.opts.UseConeSlicing && v.prep != nil {
+		if cv := v.coneFor(req.Sink); cv != nil {
+			return v.runCone(ctx, req, cv)
+		}
+	}
+	return v.run(ctx, req)
+}
+
+// run solves the check on this verifier's own circuit (the whole
+// circuit, or a cone slice when called from runCone).
+func (v *Verifier) run(ctx context.Context, req Request) *Report {
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()

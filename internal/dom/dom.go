@@ -231,6 +231,24 @@ func FromCarriers(c *circuit.Circuit, mask []bool, dist []waveform.Time, sink ci
 	return d
 }
 
+// MapNets returns the dominator set with every net id passed through
+// the translation table m (e.g. a cone slice's FromCone map);
+// distances are unchanged. Used to report dominators found on a cone
+// slice in original-circuit ids.
+func (d Dominators) MapNets(m []circuit.NetID) Dominators {
+	if len(d.Nets) == 0 {
+		return Dominators{}
+	}
+	out := Dominators{
+		Nets: make([]circuit.NetID, len(d.Nets)),
+		Dist: append([]waveform.Time(nil), d.Dist...),
+	}
+	for i, n := range d.Nets {
+		out.Nets[i] = m[n]
+	}
+	return out
+}
+
 // NarrowDominators applies Corollary 1: for every dominator d at
 // distance k, intersect its domain with waveforms transitioning at or
 // after δ − k. It reports whether any domain changed (callers then

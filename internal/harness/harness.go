@@ -51,18 +51,32 @@ func Table1(entries []gen.SuiteEntry, budget int) []Table1Row {
 	return rows
 }
 
-// RowOption customises the engine requests issued by
-// CircuitRowsParallel (tracing, pprof labels, …).
-type RowOption func(*core.Request)
+// RowConfig is the engine configuration behind one circuit's rows:
+// the request template shared by every check, and the verifier
+// options. RowOptions mutate it before the verifier is built.
+type RowConfig struct {
+	Req  core.Request
+	Opts core.Options
+}
+
+// RowOption customises the engine configuration used by
+// CircuitRowsParallel (tracing, pprof labels, cone slicing, …).
+type RowOption func(*RowConfig)
 
 // WithTracer attaches a tracer to every check behind the rows.
 func WithTracer(t core.Tracer) RowOption {
-	return func(r *core.Request) { r.Tracer = t }
+	return func(c *RowConfig) { c.Req.Tracer = t }
 }
 
 // WithPprofLabels tags parallel per-output checks with pprof labels.
 func WithPprofLabels() RowOption {
-	return func(r *core.Request) { r.PprofLabels = true }
+	return func(c *RowConfig) { c.Req.PprofLabels = true }
+}
+
+// WithoutConeSlicing solves every check on the whole circuit instead
+// of the sink's fan-in cone (the -no-cone escape hatch).
+func WithoutConeSlicing() RowOption {
+	return func(c *RowConfig) { c.Opts.UseConeSlicing = false }
 }
 
 // CircuitRows computes the exact circuit floating delay and produces
@@ -78,18 +92,17 @@ func CircuitRows(name string, c *circuit.Circuit, budget int) []Table1Row {
 // optional per-check deadline, and an optional tracer observing every
 // check (both may be nil/zero).
 func CircuitRowsParallel(name string, c *circuit.Circuit, budget, workers int, extras ...RowOption) []Table1Row {
-	opts := core.Default()
-	opts.MaxBacktracks = budget
-	v := core.NewVerifier(c, opts)
-	top := v.Topological()
-
-	req := core.Request{Workers: workers}
+	cfg := RowConfig{Opts: core.Default(), Req: core.Request{Workers: workers}}
+	cfg.Opts.MaxBacktracks = budget
 	if workers <= 1 {
-		req.Workers = 1
+		cfg.Req.Workers = 1
 	}
 	for _, o := range extras {
-		o(&req)
+		o(&cfg)
 	}
+	v := core.NewVerifier(c, cfg.Opts)
+	top := v.Topological()
+	req := cfg.Req
 
 	res, err := v.CircuitFloatingDelayCtx(context.Background(), req)
 	if err != nil {

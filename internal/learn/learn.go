@@ -27,6 +27,10 @@ type Table struct {
 	// impossible[2*net+val] marks assumptions that propagate to a
 	// contradiction: the net can never settle to val.
 	impossible []bool
+	// forced lists assignments that hold unconditionally. Empty for
+	// precomputed tables; Project fills it with the in-cone
+	// consequences of impossible classes on nets outside the cone.
+	forced []Assignment
 	// Implications counts stored entries (statistics).
 	Implications int
 }
@@ -92,6 +96,14 @@ func (t *Table) Impossible(n circuit.NetID, v int) bool { return t.impossible[ke
 // idempotent, so it is safe to call repeatedly inside the solve loop.
 func (t *Table) Apply(sys *constraint.System) bool {
 	changed := false
+	for _, f := range t.forced {
+		if sys.Domain(f.Net).Wave(1 - f.Val).IsEmpty() {
+			continue
+		}
+		if sys.Narrow(f.Net, waveform.SettledTo(f.Val)) {
+			changed = true
+		}
+	}
 	for n := 0; n < t.c.NumNets(); n++ {
 		nid := circuit.NetID(n)
 		d := sys.Domain(nid)
@@ -117,6 +129,68 @@ func (t *Table) Apply(sys *constraint.System) bool {
 		}
 	}
 	return changed
+}
+
+// Project slices the table onto a fan-in cone sub-circuit: toSub maps
+// original net ids to cone ids (circuit.InvalidNet outside the cone),
+// fromSub maps back. Implications and impossible classes between cone
+// nets carry over verbatim. An impossible class (n, v) of a net n
+// OUTSIDE the cone is folded in as unconditional facts: n settles to
+// 1−v in every consistent assignment, so every in-cone consequence of
+// (n, 1−v) holds unconditionally; those land in forced and Apply
+// asserts them up front. Implication chains that merely traverse
+// outside nets need no handling of their own — the precompute stores
+// the full three-valued closure of each assumption, so a cone-to-cone
+// consequence routed through outside nets already exists as a direct
+// table entry.
+func (t *Table) Project(sub *circuit.Circuit, toSub, fromSub []circuit.NetID) *Table {
+	pt := &Table{
+		c:          sub,
+		imp:        make([][]Assignment, 2*sub.NumNets()),
+		impossible: make([]bool, 2*sub.NumNets()),
+	}
+	for sn := 0; sn < sub.NumNets(); sn++ {
+		on := fromSub[sn]
+		for v := 0; v <= 1; v++ {
+			if t.impossible[key(on, v)] {
+				pt.impossible[key(circuit.NetID(sn), v)] = true
+			}
+			for _, a := range t.imp[key(on, v)] {
+				sa := toSub[a.Net]
+				if sa == circuit.InvalidNet {
+					continue
+				}
+				k := key(circuit.NetID(sn), v)
+				pt.imp[k] = append(pt.imp[k], Assignment{sa, a.Val})
+				pt.Implications++
+			}
+		}
+	}
+	forcedSeen := make(map[Assignment]bool)
+	for on := range toSub {
+		if toSub[on] != circuit.InvalidNet {
+			continue
+		}
+		for v := 0; v <= 1; v++ {
+			if !t.impossible[key(circuit.NetID(on), v)] {
+				continue
+			}
+			for _, a := range t.imp[key(circuit.NetID(on), 1-v)] {
+				sa := toSub[a.Net]
+				if sa == circuit.InvalidNet {
+					continue
+				}
+				f := Assignment{sa, a.Val}
+				if forcedSeen[f] {
+					continue
+				}
+				forcedSeen[f] = true
+				pt.forced = append(pt.forced, f)
+				pt.Implications++
+			}
+		}
+	}
+	return pt
 }
 
 // prop is the three-valued direct-implication engine used by the

@@ -41,6 +41,24 @@ func Compute(c *circuit.Circuit) *Controllability {
 	return cc
 }
 
+// Project returns the controllabilities of a fan-in cone sub-circuit
+// by index translation: fromSub maps cone net ids to original ids.
+// SCOAP controllability is a pure function of a net's fan-in cone, and
+// a fan-in cone slice preserves every net's fan-in, so the copied
+// values are identical to recomputing on the slice — without the
+// topological pass.
+func (cc *Controllability) Project(fromSub []circuit.NetID) *Controllability {
+	p := &Controllability{
+		CC0: make([]int64, len(fromSub)),
+		CC1: make([]int64, len(fromSub)),
+	}
+	for i, on := range fromSub {
+		p.CC0[i] = cc.CC0[on]
+		p.CC1[i] = cc.CC1[on]
+	}
+	return p
+}
+
 // Cost returns the controllability of driving net n to value v.
 func (cc *Controllability) Cost(n circuit.NetID, v int) int64 {
 	if v == 0 {
