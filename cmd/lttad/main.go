@@ -1,0 +1,101 @@
+// Command lttad serves batch timing checks over HTTP/JSON: POST a
+// netlist plus a batch of (sink, δ) checks or a δ-sweep to /v1/check
+// and the daemon prepares the circuit once, fans the checks out over
+// a bounded worker pool, and answers with per-check verdicts,
+// witnesses, and engine statistics (NDJSON streaming on request).
+//
+// Usage:
+//
+//	lttad [-addr :8090] [-workers N] [-queue N]
+//	      [-check-timeout D] [-batch-timeout D] [-drain-timeout D]
+//	      [-max-body BYTES] [-max-checks N] [-debug-addr A]
+//
+// Overload and lifecycle semantics (see DESIGN.md §10):
+//
+//   - admission is bounded: at most -queue batches are in flight or
+//     waiting; beyond that, submissions get 429 + Retry-After
+//   - SIGTERM/SIGINT drains gracefully: new submissions get 503,
+//     in-flight batches finish, and past -drain-timeout the remaining
+//     checks are cancelled (each still answers, with verdict C)
+//   - /healthz reports ok/draining; /metrics reports server counters,
+//     the engine's ltta.* expvars, and aggregated check telemetry
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof on the default mux
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	workers := flag.Int("workers", 0, "check-execution pool size (0 = all CPUs)")
+	queue := flag.Int("queue", 64, "admission queue depth (concurrent batches before 429)")
+	checkTimeout := flag.Duration("check-timeout", 0, "server-side wall-clock cap per check (0 = none)")
+	batchTimeout := flag.Duration("batch-timeout", 0, "server-side wall-clock cap per batch (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-drain bound on SIGTERM/SIGINT")
+	maxBody := flag.Int64("max-body", 32<<20, "request body byte cap")
+	maxChecks := flag.Int("max-checks", 100000, "per-batch check-count cap")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxBodyBytes: *maxBody,
+		MaxChecks:    *maxChecks,
+		CheckTimeout: *checkTimeout,
+		BatchTimeout: *batchTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s}
+
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("lttad: debug server: %v", err)
+			}
+		}()
+		log.Printf("lttad: debug server on %s (/debug/vars, /debug/pprof)", *debugAddr)
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("lttad: serving on %s (workers=%d, queue=%d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "lttad:", err)
+		os.Exit(1)
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("lttad: draining (deadline %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Reject new submissions at once, then drain the pool (cancelling
+	// leftover checks at the deadline) while the HTTP server closes the
+	// listener and waits for the in-flight responses those batches are
+	// still writing.
+	s.BeginDrain()
+	drained := make(chan error, 1)
+	go func() { drained <- s.Shutdown(dctx) }()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("lttad: http shutdown: %v", err)
+	}
+	if err := <-drained; err != nil {
+		log.Printf("lttad: drain deadline hit, remaining checks cancelled: %v", err)
+	}
+	log.Printf("lttad: stopped")
+}

@@ -11,6 +11,10 @@ func FuzzReadBench(f *testing.F) {
 	f.Add("garbage = = (")
 	f.Add("INPUT(a)\nOUTPUT(a)\n")
 	f.Add("z = XNOR(a, b, c)")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(s)\nw = NAND(a, b) # !delay=10\ns = NOR(w, w) # !delay=0\n")
+	f.Add("# comment only\n\n  \nINPUT( spaced )\nOUTPUT( spaced )\n")
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = BUFF(a) # !delay=9223372036854775807\n")
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = AND(a, a) # !delay=-3\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := ParseBenchString(src, BenchOptions{DefaultDelay: 2})
 		if err != nil {

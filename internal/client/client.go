@@ -1,0 +1,179 @@
+// Package client is the thin Go client for the lttad batch
+// timing-check service: submit a batch or sweep, stream NDJSON
+// results, and read health/metrics. The wire types live in
+// internal/server; this package only speaks HTTP.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to one lttad instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8090".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the given base URL.
+func New(base string) *Client { return &Client{BaseURL: base} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx server answer: the structured error body plus
+// the Retry-After hint on backpressure responses (429/503).
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("lttad: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Temporary reports whether the submission may simply be retried after
+// RetryAfter (queue-full backpressure or a draining server).
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError.
+func decodeAPIError(resp *http.Response) *APIError {
+	apiErr := &APIError{Status: resp.StatusCode, Code: "unknown"}
+	var body server.ErrorBody
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil {
+		apiErr.Code, apiErr.Message = body.Error.Code, body.Error.Message
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+func (c *Client) post(ctx context.Context, req server.Request) (*http.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/check", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	return resp, nil
+}
+
+// Check submits a batch and returns the buffered response. The
+// request's Stream flag is forced off.
+func (c *Client) Check(ctx context.Context, req server.Request) (*server.Response, error) {
+	req.Stream = false
+	resp, err := c.post(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out server.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// Stream submits a batch with NDJSON streaming and calls fn for every
+// event, in arrival order, ending with the "done" event. A non-nil
+// error from fn aborts the stream and is returned.
+func (c *Client) Stream(ctx context.Context, req server.Request, fn func(server.Event) error) error {
+	req.Stream = true
+	resp, err := c.post(ctx, req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev server.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("client: decoding event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Healthz reads /healthz. A draining server answers 503 but still
+// carries the health body, which is returned alongside the APIError.
+func (c *Client) Healthz(ctx context.Context) (*server.Health, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h server.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("client: decoding health: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &h, &APIError{Status: resp.StatusCode, Code: "unhealthy", Message: h.Status}
+	}
+	return &h, nil
+}
+
+// Metrics reads /metrics.
+func (c *Client) Metrics(ctx context.Context) (*server.Metrics, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var m server.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("client: decoding metrics: %w", err)
+	}
+	return &m, nil
+}

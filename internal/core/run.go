@@ -341,7 +341,7 @@ func (v *Verifier) runAllSerial(ctx context.Context, req Request) *CircuitReport
 			break // a single witness decides the circuit check
 		}
 	}
-	return aggregateCircuit(req.Delta, reports)
+	return AggregateCircuit(req.Delta, reports)
 }
 
 // runAllParallel fans the per-output checks over workers goroutines.
@@ -421,13 +421,18 @@ func (v *Verifier) runAllParallel(ctx context.Context, req Request, workers int)
 	if witness < len(pos) {
 		kept = reports[:witness+1]
 	}
-	return aggregateCircuit(req.Delta, kept)
+	return AggregateCircuit(req.Delta, kept)
 }
 
-// aggregateCircuit merges per-output reports (a prefix of the primary
-// outputs, in order) into the Table-1 aggregate. Shared by the serial
-// and parallel sweeps so the two are identical by construction.
-func aggregateCircuit(delta waveform.Time, reports []*Report) *CircuitReport {
+// AggregateCircuit merges per-output reports (in primary-output order)
+// into the Table-1 aggregate. RunAll passes the serial prefix — every
+// report up to and including the first witnessing output — so the
+// serial and parallel sweeps are identical by construction; external
+// sweep drivers (the lttad service) may pass the full per-output list
+// when they check every output exhaustively, in which case the
+// aggregate still reports the first witnessing output and sums the
+// counters over everything that ran.
+func AggregateCircuit(delta waveform.Time, reports []*Report) *CircuitReport {
 	cr := &CircuitReport{Delta: delta, WitnessOutput: -1,
 		BeforeGITD: NoViolation, AfterGITD: StageSkipped, AfterStem: StageSkipped,
 		CaseAnalysis: StageSkipped, Final: NoViolation}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
 	"testing"
 
 	"repro/internal/circuit"
@@ -44,6 +46,46 @@ func TestWitnessPathHrapcenko(t *testing.T) {
 	// the 7-gate topological path is false.
 	if len(path)-1 == 7 {
 		t.Fatal("witness path must not be the false 7-gate path")
+	}
+}
+
+// TestWitnessSurvivesSerialization covers the serving path: a witness
+// found by a cone-sliced check, serialised as JSON (the way lttad
+// ships reports) and decoded back, must still certify the violation on
+// the original circuit.
+func TestWitnessSurvivesSerialization(t *testing.T) {
+	for _, c := range []*circuit.Circuit{gen.Hrapcenko(10), gen.CarrySkipAdder(8, 4, 10)} {
+		v := NewVerifier(c, Default()) // cone slicing on
+		for _, po := range c.PrimaryOutputs() {
+			res, err := v.ExactFloatingDelayCtx(context.Background(), po, Request{})
+			if err != nil || !res.Exact || res.Delay < 0 {
+				continue
+			}
+			rep := v.Run(context.Background(), Request{Sink: po, Delta: res.Delay})
+			if rep.Final != ViolationFound {
+				t.Fatalf("%s (%s, %s): expected a violation at the exact delay, got %s",
+					c.Name, c.Net(po).Name, res.Delay, rep.Final)
+			}
+			body, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Report
+			if err := json.Unmarshal(body, &back); err != nil {
+				t.Fatal(err)
+			}
+			r, err := sim.Run(c, back.Witness)
+			if err != nil {
+				t.Fatalf("decoded witness does not simulate: %v", err)
+			}
+			if !r.Violates(back.Sink, back.Delta) {
+				t.Fatalf("%s (%s, %s): decoded witness settles at %s, does not violate",
+					c.Name, c.Net(po).Name, back.Delta, r.Settle[back.Sink])
+			}
+			if r.Settle[back.Sink] != back.WitnessSettle {
+				t.Fatalf("decoded settle %s != report settle %s", r.Settle[back.Sink], back.WitnessSettle)
+			}
+		}
 	}
 }
 

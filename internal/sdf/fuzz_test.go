@@ -15,6 +15,10 @@ func FuzzApply(f *testing.F) {
 	f.Add("((((")
 	f.Add(`(DELAYFILE (CELL (INSTANCE z) (DELAY (ABSOLUTE (IOPATH a y (1:2:3))))))`)
 	f.Add(`(DELAYFILE "str with ) inside")`)
+	f.Add("(DELAYFILE (TIMESCALE 1ns) (CELL (CELLTYPE \"NAND2\") (INSTANCE g1) (DELAY (ABSOLUTE (IOPATH a y (10))))))")
+	f.Add("(DELAYFILE (CELL (INSTANCE g1) (DELAY (ABSOLUTE (IOPATH a y (-5))))))")
+	f.Add("(DELAYFILE (CELL (INSTANCE *) (DELAY (ABSOLUTE (IOPATH a y (1.5:2.5:3.5))))))")
+	f.Add("(DELAYFILE (TIMESCALE 100ps) (CELL (INSTANCE g1) (DELAY (INCREMENT (IOPATH a y (2))))))")
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := circuit.ParseBenchString(testCkt, circuit.BenchOptions{DefaultDelay: 10})
 		if err != nil {

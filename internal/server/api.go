@@ -1,0 +1,462 @@
+// Package server implements lttad, the batch timing-check service: an
+// HTTP/JSON front end over the core engine. A submission carries one
+// netlist plus either an explicit batch of (sink, δ) checks or a
+// δ-sweep over every primary output; the server parses and prepares
+// the circuit once (core.Prepare) and fans the checks out over a
+// bounded worker pool shared by all in-flight batches. Production
+// concerns are handled here, not in core: bounded admission with
+// 429 + Retry-After backpressure, per-check and per-batch timeouts
+// mapped onto core.Run's context and budgets, panic isolation so one
+// crashing check fails alone, NDJSON streaming of per-check results,
+// graceful drain, and /healthz + /metrics observability.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+	"repro/internal/waveform"
+)
+
+// CheckSpec names one timing check of an explicit batch.
+type CheckSpec struct {
+	// Sink is the net to check, by name.
+	Sink string `json:"sink"`
+	// Delta is the timing-check threshold δ.
+	Delta int64 `json:"delta"`
+	// VerifyOnly runs only the verify() stage (fixpoint + global
+	// implications) and reports N or P without case analysis.
+	VerifyOnly bool `json:"verifyOnly,omitempty"`
+}
+
+// SweepSpec describes a δ-sweep: every δ in Deltas is checked against
+// every primary output. With Table1 set, Deltas is ignored — the
+// server first computes the exact circuit floating delay D and then
+// evaluates the paper's row pair δ = D+1 and δ = D, reproducing the
+// harness protocol (including the first-witness-wins early exit)
+// server-side.
+type SweepSpec struct {
+	Deltas []int64 `json:"deltas,omitempty"`
+	Table1 bool    `json:"table1,omitempty"`
+}
+
+// OptionsSpec overrides the engine options, starting from the paper's
+// full configuration (core.Default()).
+type OptionsSpec struct {
+	NoDominators bool `json:"noDominators,omitempty"`
+	NoLearning   bool `json:"noLearning,omitempty"`
+	NoStems      bool `json:"noStems,omitempty"`
+	NoCone       bool `json:"noCone,omitempty"`
+	// MaxBacktracks bounds the case analysis (0 = the default 200000,
+	// negative = unlimited).
+	MaxBacktracks int `json:"maxBacktracks,omitempty"`
+	// MaxStemSplits caps stems correlated per check (0 = default 64).
+	MaxStemSplits int `json:"maxStemSplits,omitempty"`
+}
+
+// BudgetsSpec maps onto core.Budgets: per-check work bounds beyond the
+// option defaults. Exhaustion yields the verdict A (abandoned).
+type BudgetsSpec struct {
+	MaxBacktracks   int   `json:"maxBacktracks,omitempty"`
+	MaxStemSplits   int   `json:"maxStemSplits,omitempty"`
+	MaxPropagations int64 `json:"maxPropagations,omitempty"`
+}
+
+// Request is the body of POST /v1/check.
+type Request struct {
+	// Netlist is the circuit source text.
+	Netlist string `json:"netlist"`
+	// Format is "bench" (default) or "verilog".
+	Format string `json:"format,omitempty"`
+	// Name names the circuit in responses (default: the parser's).
+	Name string `json:"name,omitempty"`
+	// DefaultDelay is the gate delay used when the netlist does not
+	// annotate one (default 10, the paper's experiments).
+	DefaultDelay int64 `json:"defaultDelay,omitempty"`
+
+	// Exactly one of Checks and Sweep must be present.
+	Checks []CheckSpec `json:"checks,omitempty"`
+	Sweep  *SweepSpec  `json:"sweep,omitempty"`
+
+	Options *OptionsSpec `json:"options,omitempty"`
+	Budgets *BudgetsSpec `json:"budgets,omitempty"`
+
+	// CheckTimeoutMs bounds each check's wall clock; an expired check
+	// reports the terminal verdict C (cancelled). The server's own
+	// per-check cap, when configured, wins if smaller.
+	CheckTimeoutMs int64 `json:"checkTimeoutMs,omitempty"`
+	// TimeoutMs bounds the whole batch the same way.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+
+	// Stream requests an NDJSON response: one Event per line as results
+	// become available, instead of a single Response document.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// CircuitInfo describes the parsed netlist, echoed first in every
+// response. Checks is the number of checks the batch was admitted
+// with — for streaming clients, the exact number of "check" events the
+// response will carry (table1 sweeps discover their checks during the
+// delay search and announce -1).
+type CircuitInfo struct {
+	Name    string   `json:"name"`
+	Gates   int      `json:"gates"`
+	Nets    int      `json:"nets"`
+	PIs     int      `json:"pis"`
+	POs     int      `json:"pos"`
+	Levels  int      `json:"levels"`
+	PINames []string `json:"piNames"`
+	Checks  int      `json:"checks"`
+}
+
+// CheckResult serialises one core.Report. Verdicts use the paper's
+// single-letter codes (P, N, V, A, C, -). Witness is the violating
+// input vector as a bit string indexed parallel to PINames.
+type CheckResult struct {
+	Sink  string `json:"sink"`
+	Delta int64  `json:"delta"`
+	// Index is the check's position in the batch (explicit batches) or
+	// the primary-output index (sweeps).
+	Index int `json:"index"`
+
+	BeforeGITD   string `json:"beforeGITD"`
+	AfterGITD    string `json:"afterGITD"`
+	AfterStem    string `json:"afterStem"`
+	CaseAnalysis string `json:"caseAnalysis"`
+	Final        string `json:"final"`
+	Backtracks   int    `json:"backtracks"`
+
+	Witness       string `json:"witness,omitempty"`
+	WitnessSettle int64  `json:"witnessSettle,omitempty"`
+
+	Dominators      int   `json:"dominators"`
+	DominatorRounds int   `json:"dominatorRounds"`
+	Propagations    int64 `json:"propagations"`
+	Narrowings      int64 `json:"narrowings"`
+	QueueHighWater  int   `json:"queueHighWater"`
+	Decisions       int64 `json:"decisions"`
+	StemSplits      int   `json:"stemSplits"`
+	ElapsedUs       int64 `json:"elapsedUs"`
+
+	// Error reports a panic-isolated worker failure; the check carries
+	// the sound verdict A (the engine gave up) and the batch continues.
+	Error string `json:"error,omitempty"`
+}
+
+// SweepResult aggregates one δ of a sweep, mirroring
+// core.CircuitReport. PerOutput lists the per-output results that
+// entered the aggregate: every output for plain sweeps, the serial
+// prefix up to the first witnessing output for table1 sweeps.
+type SweepResult struct {
+	Delta         int64         `json:"delta"`
+	BeforeGITD    string        `json:"beforeGITD"`
+	AfterGITD     string        `json:"afterGITD"`
+	AfterStem     string        `json:"afterStem"`
+	CaseAnalysis  string        `json:"caseAnalysis"`
+	Final         string        `json:"final"`
+	Backtracks    int           `json:"backtracks"`
+	WitnessOutput int           `json:"witnessOutput"`
+	Propagations  int64         `json:"propagations"`
+	Dominators    int           `json:"dominators"`
+	Rounds        int           `json:"dominatorRounds"`
+	PerOutput     []CheckResult `json:"perOutput"`
+}
+
+// Row is one reproduced Table-1 line, field-compatible with the
+// harness's JSON row rendering.
+type Row struct {
+	Circuit    string  `json:"circuit"`
+	Gates      int     `json:"gates"`
+	Top        int64   `json:"top"`
+	Delta      int64   `json:"delta"`
+	Exact      bool    `json:"exact"`
+	Upper      bool    `json:"upperBound"`
+	BeforeGITD string  `json:"beforeGITD"`
+	AfterGITD  string  `json:"afterGITD"`
+	AfterStem  string  `json:"afterStemCorrelation"`
+	Backtracks int     `json:"backtracks"`
+	CAResult   string  `json:"caseAnalysis"`
+	CPUSeconds float64 `json:"cpuSeconds"`
+}
+
+// Response is the non-streaming body of POST /v1/check.
+type Response struct {
+	Circuit CircuitInfo   `json:"circuit"`
+	Results []CheckResult `json:"results,omitempty"`
+	Sweeps  []SweepResult `json:"sweeps,omitempty"`
+	Rows    []Row         `json:"rows,omitempty"`
+	Done    DoneInfo      `json:"done"`
+}
+
+// DoneInfo closes a batch: how many checks ran and the batch wall
+// clock.
+type DoneInfo struct {
+	ChecksRun int   `json:"checksRun"`
+	ElapsedUs int64 `json:"elapsedUs"`
+}
+
+// Event is one NDJSON line of a streaming response. Type is "circuit"
+// (first line), "check", "sweep", "rows", "error", or "done" (always
+// the last line).
+type Event struct {
+	Type    string       `json:"type"`
+	Circuit *CircuitInfo `json:"circuit,omitempty"`
+	Check   *CheckResult `json:"check,omitempty"`
+	Sweep   *SweepResult `json:"sweep,omitempty"`
+	Rows    []Row        `json:"rows,omitempty"`
+	Error   string       `json:"error,omitempty"`
+	Done    *DoneInfo    `json:"done,omitempty"`
+}
+
+// ErrorBody is the structured body of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorInfo carries a stable machine-readable code plus a human
+// message.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError is an error with an HTTP status and a stable code; every
+// request-decoding failure becomes one (never a panic).
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(code, format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeRequest reads and validates a request body. Every failure maps
+// to a structured 4xx — arbitrary bytes must never panic (enforced by
+// FuzzDecodeRequest).
+func decodeRequest(r io.Reader) (*Request, *apiError) {
+	dec := json.NewDecoder(r)
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return nil, &apiError{status: http.StatusRequestEntityTooLarge,
+				code: "body_too_large", msg: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+		}
+		return nil, badRequest("bad_json", "decoding request: %v", err)
+	}
+	if strings.TrimSpace(req.Netlist) == "" {
+		return nil, badRequest("missing_netlist", "request carries no netlist")
+	}
+	switch req.Format {
+	case "", "bench", "verilog":
+	default:
+		return nil, badRequest("bad_format", "unknown netlist format %q (want bench or verilog)", req.Format)
+	}
+	if req.DefaultDelay < 0 {
+		return nil, badRequest("bad_delay", "defaultDelay must be ≥ 0, got %d", req.DefaultDelay)
+	}
+	if req.CheckTimeoutMs < 0 || req.TimeoutMs < 0 {
+		return nil, badRequest("bad_timeout", "timeouts must be ≥ 0")
+	}
+	hasChecks := len(req.Checks) > 0
+	hasSweep := req.Sweep != nil
+	if hasChecks == hasSweep {
+		return nil, badRequest("bad_workload", "exactly one of checks and sweep must be present")
+	}
+	if hasSweep && !req.Sweep.Table1 && len(req.Sweep.Deltas) == 0 {
+		return nil, badRequest("bad_sweep", "sweep needs deltas (or table1)")
+	}
+	for i, cs := range req.Checks {
+		if strings.TrimSpace(cs.Sink) == "" {
+			return nil, badRequest("bad_check", "check %d names no sink", i)
+		}
+	}
+	return &req, nil
+}
+
+// parseNetlist builds the circuit from the request's netlist text.
+func parseNetlist(req *Request) (*circuit.Circuit, *apiError) {
+	delay := req.DefaultDelay
+	if delay == 0 {
+		delay = 10
+	}
+	var (
+		c   *circuit.Circuit
+		err error
+	)
+	if req.Format == "verilog" {
+		c, err = verilog.ParseString(req.Netlist, verilog.Options{DefaultDelay: delay})
+	} else {
+		c, err = circuit.ParseBenchString(req.Netlist, circuit.BenchOptions{DefaultDelay: delay, Name: req.Name})
+	}
+	if err != nil {
+		return nil, badRequest("bad_netlist", "parsing netlist: %v", err)
+	}
+	if req.Name != "" {
+		c.Name = req.Name
+	}
+	return c, nil
+}
+
+// resolvedCheck is a CheckSpec bound to a net id.
+type resolvedCheck struct {
+	sink       circuit.NetID
+	delta      waveform.Time
+	verifyOnly bool
+}
+
+// resolveChecks binds the batch's sink names to nets.
+func resolveChecks(c *circuit.Circuit, specs []CheckSpec) ([]resolvedCheck, *apiError) {
+	out := make([]resolvedCheck, len(specs))
+	for i, cs := range specs {
+		id, ok := c.NetByName(cs.Sink)
+		if !ok {
+			return nil, badRequest("unknown_sink", "check %d: no net named %q", i, cs.Sink)
+		}
+		out[i] = resolvedCheck{sink: id, delta: waveform.Time(cs.Delta), verifyOnly: cs.VerifyOnly}
+	}
+	return out, nil
+}
+
+// engineOptions maps the request options onto core.Options, starting
+// from the paper's defaults exactly like the harness does.
+func engineOptions(spec *OptionsSpec) core.Options {
+	opts := core.Default()
+	if spec == nil {
+		return opts
+	}
+	if spec.NoDominators {
+		opts.UseDominators = false
+	}
+	if spec.NoLearning {
+		opts.UseLearning = false
+	}
+	if spec.NoStems {
+		opts.UseStemCorrelation = false
+	}
+	if spec.NoCone {
+		opts.UseConeSlicing = false
+	}
+	switch {
+	case spec.MaxBacktracks < 0:
+		opts.MaxBacktracks = 0 // unlimited
+	case spec.MaxBacktracks > 0:
+		opts.MaxBacktracks = spec.MaxBacktracks
+	}
+	if spec.MaxStemSplits != 0 {
+		opts.MaxStemSplits = spec.MaxStemSplits
+	}
+	return opts
+}
+
+// engineBudgets maps the request budgets onto core.Budgets.
+func engineBudgets(spec *BudgetsSpec) core.Budgets {
+	if spec == nil {
+		return core.Budgets{}
+	}
+	return core.Budgets{
+		MaxBacktracks:   spec.MaxBacktracks,
+		MaxStemSplits:   spec.MaxStemSplits,
+		MaxPropagations: spec.MaxPropagations,
+	}
+}
+
+// circuitInfo summarises the parsed netlist.
+func circuitInfo(c *circuit.Circuit, checks int) CircuitInfo {
+	st := c.Stats()
+	pis := c.PrimaryInputs()
+	names := make([]string, len(pis))
+	for i, pi := range pis {
+		names[i] = c.Net(pi).Name
+	}
+	return CircuitInfo{
+		Name: c.Name, Gates: st.Gates, Nets: st.Nets,
+		PIs: st.PIs, POs: st.POs, Levels: st.Levels,
+		PINames: names, Checks: checks,
+	}
+}
+
+// ResultFromReport serialises one finished check. It is exported so
+// the differential tests compare server responses against in-process
+// reports through the same conversion. Wall-clock fields (ElapsedUs)
+// are the only non-deterministic ones.
+func ResultFromReport(c *circuit.Circuit, index int, rep *core.Report) CheckResult {
+	res := CheckResult{
+		Sink:  c.Net(rep.Sink).Name,
+		Delta: int64(rep.Delta),
+		Index: index,
+
+		BeforeGITD:   rep.BeforeGITD.String(),
+		AfterGITD:    rep.AfterGITD.String(),
+		AfterStem:    rep.AfterStem.String(),
+		CaseAnalysis: rep.CaseAnalysis.String(),
+		Final:        rep.Final.String(),
+		Backtracks:   rep.Backtracks,
+
+		Dominators:      rep.Dominators,
+		DominatorRounds: rep.DominatorRounds,
+		Propagations:    rep.Propagations,
+		Narrowings:      rep.Stats.Narrowings,
+		QueueHighWater:  rep.Stats.QueueHighWater,
+		Decisions:       rep.Stats.Decisions,
+		StemSplits:      rep.Stats.StemSplits,
+		ElapsedUs:       rep.Elapsed.Microseconds(),
+	}
+	if len(rep.Witness) > 0 {
+		res.Witness = rep.Witness.String()
+		res.WitnessSettle = int64(rep.WitnessSettle)
+	}
+	return res
+}
+
+// SweepFromReport serialises a circuit-level aggregate (exported so
+// the differential tests compare server sweeps against in-process
+// core.RunAll reports through the same conversion).
+func SweepFromReport(c *circuit.Circuit, cr *core.CircuitReport) SweepResult {
+	sw := SweepResult{
+		Delta:         int64(cr.Delta),
+		BeforeGITD:    cr.BeforeGITD.String(),
+		AfterGITD:     cr.AfterGITD.String(),
+		AfterStem:     cr.AfterStem.String(),
+		CaseAnalysis:  cr.CaseAnalysis.String(),
+		Final:         cr.Final.String(),
+		Backtracks:    cr.Backtracks,
+		WitnessOutput: cr.WitnessOutput,
+		Propagations:  cr.Propagations,
+		Dominators:    cr.Dominators,
+		Rounds:        cr.DominatorRounds,
+	}
+	for i, rep := range cr.PerOutput {
+		sw.PerOutput = append(sw.PerOutput, ResultFromReport(c, i, rep))
+	}
+	return sw
+}
+
+// DecodeWitness parses a CheckResult witness bit string back into a
+// simulation vector (indexed parallel to CircuitInfo.PINames).
+func DecodeWitness(s string) (sim.Vector, error) {
+	v := make(sim.Vector, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			v[i] = 0
+		case '1':
+			v[i] = 1
+		default:
+			return nil, fmt.Errorf("server: witness bit %d is %q, want 0 or 1", i, s[i])
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/waveform"
+)
+
+// batch is one admitted submission being executed. The handler
+// goroutine owns it: it prepares the circuit, fans checks out over the
+// server's shared pool, and assembles the response (or streams events
+// as they arrive).
+type batch struct {
+	srv     *Server
+	req     *Request
+	c       *circuit.Circuit
+	checks  []resolvedCheck
+	opts    core.Options
+	budgets core.Budgets
+
+	checkTimeout time.Duration
+
+	countMu   sync.Mutex // guards checksRun against pool workers
+	checksRun int
+}
+
+// emitter serialises streamed events; nil for buffered responses.
+// Events from pool workers interleave, so emission is locked.
+type emitter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	fl  http.Flusher
+}
+
+func (e *emitter) emit(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = e.enc.Encode(ev)
+	if e.fl != nil {
+		e.fl.Flush()
+	}
+}
+
+// stream runs the batch and writes NDJSON events as results land.
+func (b *batch) stream(ctx context.Context, w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	em := &emitter{enc: json.NewEncoder(w)}
+	if fl, ok := w.(http.Flusher); ok {
+		em.fl = fl
+	}
+	resp := b.run(ctx, em)
+	em.emit(Event{Type: "done", Done: &resp.Done})
+}
+
+// run executes the batch. With em == nil the results are collected
+// into the returned Response; otherwise every circuit/check/sweep/rows
+// record is additionally emitted as it becomes available.
+func (b *batch) run(ctx context.Context, em *emitter) *Response {
+	start := time.Now()
+	resp := &Response{Circuit: circuitInfo(b.c, batchSize(b.c, b.req, b.checks))}
+	em.emit(Event{Type: "circuit", Circuit: &resp.Circuit})
+
+	prep := core.Prepare(b.c)
+	v := prep.NewVerifier(b.opts)
+
+	switch {
+	case b.req.Sweep == nil:
+		resp.Results = b.runChecks(ctx, v, em)
+	case b.req.Sweep.Table1:
+		resp.Rows, resp.Sweeps = b.runTable1(ctx, v, em)
+	default:
+		for _, d := range b.req.Sweep.Deltas {
+			sw := b.runSweep(ctx, v, waveform.Time(d), em)
+			resp.Sweeps = append(resp.Sweeps, sw)
+			em.emit(Event{Type: "sweep", Sweep: &sw})
+		}
+	}
+	resp.Done = DoneInfo{ChecksRun: b.checksRun, ElapsedUs: time.Since(start).Microseconds()}
+	return resp
+}
+
+// baseRequest builds the core request template shared by the batch's
+// checks: budgets, and the per-check deadline if any timeout applies.
+func (b *batch) baseRequest() core.Request {
+	req := core.Request{Budgets: b.budgets}
+	return req
+}
+
+// withDeadline stamps the per-check deadline at submission time.
+func (b *batch) withDeadline(req core.Request) core.Request {
+	if b.checkTimeout > 0 {
+		req.Deadline = time.Now().Add(b.checkTimeout)
+	}
+	return req
+}
+
+// runChecks executes an explicit batch: every check is independent,
+// submitted to the pool in order, with results collected (and
+// streamed) as they complete. A check whose submission the context
+// cuts off still gets a terminal result: verdict C.
+func (b *batch) runChecks(ctx context.Context, v *core.Verifier, em *emitter) []CheckResult {
+	results := make([]CheckResult, len(b.checks))
+	var wg sync.WaitGroup
+	for i, rc := range b.checks {
+		i, rc := i, rc
+		req := b.baseRequest()
+		req.Sink, req.Delta, req.VerifyOnly = rc.sink, rc.delta, rc.verifyOnly
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			rep, panicMsg := b.srv.runOne(ctx, v, b.withDeadline(req))
+			res := ResultFromReport(b.c, i, rep)
+			res.Error = panicMsg
+			results[i] = res
+			em.emit(Event{Type: "check", Check: &res})
+		}
+		if !b.srv.submit(ctx, run) {
+			// Context over before a worker freed up: report the check as
+			// cancelled without occupying the pool (v.Run on a dead
+			// context returns Cancelled immediately; this is the same
+			// answer without the queue round trip).
+			wg.Done()
+			rep := cancelledReport(rc.sink, rc.delta)
+			res := ResultFromReport(b.c, i, rep)
+			results[i] = res
+			em.emit(Event{Type: "check", Check: &res})
+		}
+	}
+	wg.Wait()
+	b.checksRun += len(b.checks)
+	return results
+}
+
+// cancelledReport is the terminal record of a check that never reached
+// a worker: the caller withdrew the question (drain deadline or batch
+// timeout), exactly what core.Run returns for a dead context.
+func cancelledReport(sink circuit.NetID, delta waveform.Time) *core.Report {
+	return &core.Report{
+		Sink: sink, Delta: delta,
+		BeforeGITD: core.PossibleViolation, AfterGITD: core.StageSkipped,
+		AfterStem: core.StageSkipped, CaseAnalysis: core.StageSkipped,
+		Backtracks: -1, Final: core.Cancelled,
+	}
+}
+
+// runSweep checks (o, δ) for every primary output o, exhaustively —
+// every output gets exactly one terminal result (streamed as it
+// lands) and the aggregate covers all of them. This is the serving
+// analogue of core.RunAll without the first-witness early exit:
+// batch clients want every answer, not just the circuit verdict.
+func (b *batch) runSweep(ctx context.Context, v *core.Verifier, delta waveform.Time, em *emitter) SweepResult {
+	pos := v.Circuit().PrimaryOutputs()
+	reports := make([]*core.Report, len(pos))
+	var wg sync.WaitGroup
+	for i, po := range pos {
+		i, po := i, po
+		req := b.baseRequest()
+		req.Sink, req.Delta = po, delta
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			rep, panicMsg := b.srv.runOne(ctx, v, b.withDeadline(req))
+			reports[i] = rep
+			res := ResultFromReport(b.c, i, rep)
+			res.Error = panicMsg
+			em.emit(Event{Type: "check", Check: &res})
+		}
+		if !b.srv.submit(ctx, run) {
+			wg.Done()
+			reports[i] = cancelledReport(po, delta)
+			res := ResultFromReport(b.c, i, reports[i])
+			em.emit(Event{Type: "check", Check: &res})
+		}
+	}
+	wg.Wait()
+	b.checksRun += len(pos)
+	return SweepFromReport(b.c, core.AggregateCircuit(delta, reports))
+}
+
+// runSweepFirstWins reproduces core.RunAll's protocol over the shared
+// pool: per-output checks fan out, a witnessed violation on output i
+// cancels every running check on a later output, and the aggregate is
+// built from the serial prefix — every report up to and including the
+// smallest witnessing output — so the result is identical (stage by
+// stage, witness by witness) to RunAll on the same circuit.
+func (b *batch) runSweepFirstWins(ctx context.Context, v *core.Verifier, delta waveform.Time, em *emitter) *core.CircuitReport {
+	pos := v.Circuit().PrimaryOutputs()
+	reports := make([]*core.Report, len(pos))
+
+	var mu sync.Mutex
+	witness := len(pos) // smallest witnessing index so far
+	cancels := make([]context.CancelFunc, len(pos))
+	var wg sync.WaitGroup
+
+	for i, po := range pos {
+		i, po := i, po
+		req := b.baseRequest()
+		req.Sink, req.Delta = po, delta
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			mu.Lock()
+			if i > witness {
+				mu.Unlock()
+				return // a smaller output already witnessed; discarded anyway
+			}
+			cctx, cancel := context.WithCancel(ctx)
+			cancels[i] = cancel
+			mu.Unlock()
+			defer cancel()
+
+			rep, panicMsg := b.srv.runOne(cctx, v, b.withDeadline(req))
+			mu.Lock()
+			cancels[i] = nil
+			reports[i] = rep
+			if rep.Final == core.ViolationFound && i < witness {
+				witness = i
+				for j := i + 1; j < len(cancels); j++ {
+					if cancels[j] != nil {
+						cancels[j]()
+					}
+				}
+			}
+			keep := i <= witness
+			mu.Unlock()
+			b.countCheck()
+			if keep {
+				res := ResultFromReport(b.c, i, rep)
+				res.Error = panicMsg
+				em.emit(Event{Type: "check", Check: &res})
+			}
+		}
+		if !b.srv.submit(ctx, run) {
+			wg.Done()
+			mu.Lock()
+			reports[i] = cancelledReport(po, delta)
+			keep := i <= witness
+			mu.Unlock()
+			b.countCheck()
+			if keep {
+				res := ResultFromReport(b.c, i, reports[i])
+				em.emit(Event{Type: "check", Check: &res})
+			}
+		}
+	}
+	wg.Wait()
+
+	kept := reports
+	if witness < len(pos) {
+		kept = reports[:witness+1]
+	}
+	return core.AggregateCircuit(delta, kept)
+}
+
+// countCheck tallies finished checks under the emitter-independent
+// batch counter (pool workers race on it during first-wins sweeps).
+func (b *batch) countCheck() {
+	// checksRun is read only after wg.Wait(), but increments happen on
+	// pool workers; keep them serialised.
+	b.countMu.Lock()
+	b.checksRun++
+	b.countMu.Unlock()
+}
+
+// runTable1 reproduces harness.CircuitRowsParallel server-side: the
+// exact circuit floating delay D (binary search per output, run as one
+// sequential pool task), then the paper's row pair δ = D+1 and δ = D
+// via first-witness-wins sweeps. Rows and per-δ aggregates are
+// byte-identical to the in-process harness on the same netlist — the
+// differential e2e suite enforces it.
+func (b *batch) runTable1(ctx context.Context, v *core.Verifier, em *emitter) ([]Row, []SweepResult) {
+	var (
+		res *core.DelayResult
+		err error
+	)
+	req := b.baseRequest()
+	done := make(chan struct{})
+	search := func() {
+		defer close(done)
+		defer func() {
+			if p := recover(); p != nil {
+				b.srv.panics.Add(1)
+				err = badRequest("delay_search_panic", "delay search panicked: %v", p)
+			}
+		}()
+		res, err = v.CircuitFloatingDelayCtx(ctx, req)
+	}
+	if !b.srv.submit(ctx, search) {
+		em.emit(Event{Type: "error", Error: "cancelled before the delay search started"})
+		return nil, nil
+	}
+	<-done
+	if res != nil {
+		b.checksRun += res.Checks
+	}
+	if err != nil && res == nil {
+		em.emit(Event{Type: "error", Error: err.Error()})
+		return nil, nil
+	}
+
+	delta := res.Delay
+	top := v.Topological()
+	mk := func(d waveform.Time, cr *core.CircuitReport) Row {
+		return Row{
+			Circuit: b.c.Name, Gates: b.c.NumGates(),
+			Top: int64(top), Delta: int64(d),
+			BeforeGITD: cr.BeforeGITD.String(), AfterGITD: cr.AfterGITD.String(),
+			AfterStem: cr.AfterStem.String(), Backtracks: cr.Backtracks,
+			CAResult: cr.CaseAnalysis.String(),
+		}
+	}
+
+	start := time.Now()
+	crHigh := b.runSweepFirstWins(ctx, v, delta+1, em)
+	rowHigh := mk(delta+1, crHigh)
+	rowHigh.CPUSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	crLow := b.runSweepFirstWins(ctx, v, delta, em)
+	rowLow := mk(delta, crLow)
+	rowLow.CPUSeconds = time.Since(start).Seconds()
+	rowLow.Exact = res.Exact && crLow.Final == core.ViolationFound && crHigh.Final == core.NoViolation
+	rowLow.Upper = !rowLow.Exact
+
+	rows := []Row{rowHigh, rowLow}
+	sweeps := []SweepResult{SweepFromReport(b.c, crHigh), SweepFromReport(b.c, crLow)}
+	for i := range sweeps {
+		em.emit(Event{Type: "sweep", Sweep: &sweeps[i]})
+	}
+	em.emit(Event{Type: "rows", Rows: rows})
+	return rows, sweeps
+}

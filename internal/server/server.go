@@ -1,0 +1,401 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// Config sizes the service. The zero value of every field selects a
+// production-sane default.
+type Config struct {
+	// Workers is the shared check-execution pool size (default:
+	// GOMAXPROCS). Every check of every in-flight batch runs on this
+	// pool, so it is the server's hard CPU bound.
+	Workers int
+	// QueueDepth bounds admitted batches — in flight plus waiting for
+	// workers (default 64). A submission beyond it is rejected with
+	// 429 + Retry-After instead of queueing unboundedly.
+	QueueDepth int
+	// MaxBodyBytes caps the request body (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxChecks caps the checks one batch may expand to (default
+	// 100000).
+	MaxChecks int
+	// CheckTimeout caps each check's wall clock server-side, composing
+	// with the client's checkTimeoutMs (smaller wins; 0 = none).
+	CheckTimeout time.Duration
+	// BatchTimeout caps each batch the same way (0 = none).
+	BatchTimeout time.Duration
+	// RetryAfter is the Retry-After hint on 429/503 responses
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.MaxChecks <= 0 {
+		cfg.MaxChecks = 100000
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return cfg
+}
+
+// Server is the lttad HTTP service. Create with New, serve with any
+// http.Server (it implements http.Handler), stop with Shutdown.
+//
+// Lifecycle: accepting → draining → stopped. Accepting, submissions
+// are admitted up to QueueDepth concurrent batches (429 beyond).
+// Draining (entered by BeginDrain/Shutdown), every new submission is
+// rejected with 503 while in-flight batches run to completion; at the
+// drain deadline the remaining checks are cancelled via context so
+// each still produces exactly one terminal result (verdict C) and the
+// batches finish. Stopped, the pool has exited.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	tasks     chan func()
+	workersWG sync.WaitGroup
+
+	slots    chan struct{} // admission tokens, cap QueueDepth
+	inflight sync.WaitGroup
+	draining atomic.Bool
+
+	baseCtx    context.Context // cancelled at the drain deadline
+	baseCancel context.CancelFunc
+
+	shutdownOnce sync.Once
+
+	agg core.StatsTracer // engine telemetry across all served checks
+
+	// counters behind /metrics
+	accepted      atomic.Int64
+	rejectedFull  atomic.Int64
+	rejectedDrain atomic.Int64
+	badRequests   atomic.Int64
+	checksRun     atomic.Int64
+	panics        atomic.Int64
+	streams       atomic.Int64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		tasks: make(chan func()),
+		slots: make(chan struct{}, cfg.QueueDepth),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("/v1/check", s.handleCheck)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workersWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// worker executes pool tasks; each task does its own panic isolation.
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for f := range s.tasks {
+		f()
+	}
+}
+
+// submit runs f on the pool, or synchronously reports a cancelled
+// submission when ctx ends before a worker frees up. The returned
+// value says whether f was (or will be) executed.
+func (s *Server) submit(ctx context.Context, f func()) bool {
+	select {
+	case s.tasks <- f:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runOne executes one check on the calling pool worker with panic
+// isolation: a crashing check yields a synthetic Abandoned report (the
+// engine gave up; claiming N would be unsound) plus the panic message,
+// and the rest of the batch is unaffected.
+func (s *Server) runOne(ctx context.Context, v *core.Verifier, req core.Request) (rep *core.Report, panicMsg string) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			panicMsg = fmt.Sprintf("check panicked: %v", p)
+			rep = &core.Report{
+				Sink: req.Sink, Delta: req.Delta,
+				BeforeGITD: core.PossibleViolation, AfterGITD: core.StageSkipped,
+				AfterStem: core.StageSkipped, CaseAnalysis: core.StageSkipped,
+				Backtracks: -1, Final: core.Abandoned,
+			}
+		}
+	}()
+	req.Tracer = &s.agg
+	rep = v.Run(ctx, req)
+	s.checksRun.Add(1)
+	return rep, ""
+}
+
+// BeginDrain moves the server to draining: new submissions are
+// rejected with 503 + Retry-After immediately; in-flight batches keep
+// running. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Shutdown drains the server: it stops admitting work, waits for
+// in-flight batches, and — if ctx expires first — cancels the
+// remaining checks so every accepted check still reports exactly one
+// terminal result (verdict C for the cancelled ones) and the batches
+// finish promptly (the engine polls cancellation sub-millisecond).
+// It returns ctx.Err() when the drain deadline forced cancellation,
+// nil on a clean drain; either way all accepted work has been
+// answered and the pool has exited when it returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	var err error
+	s.shutdownOnce.Do(func() {
+		done := make(chan struct{})
+		go func() {
+			s.inflight.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+			s.baseCancel()
+			<-done
+		}
+		s.baseCancel()
+		close(s.tasks)
+	})
+	s.workersWG.Wait()
+	return err
+}
+
+// writeError emits the structured error envelope.
+func writeError(w http.ResponseWriter, e *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: ErrorInfo{Code: e.code, Message: e.msg}})
+}
+
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// handleCheck is POST /v1/check: decode, parse, admit, execute,
+// respond (JSON document or NDJSON stream).
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+			msg: "POST required"})
+		return
+	}
+	if s.draining.Load() {
+		s.rejectedDrain.Add(1)
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, &apiError{status: http.StatusServiceUnavailable, code: "draining",
+			msg: "server is draining; resubmit elsewhere"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, apiErr := decodeRequest(r.Body)
+	if apiErr != nil {
+		s.badRequests.Add(1)
+		writeError(w, apiErr)
+		return
+	}
+	c, apiErr := parseNetlist(req)
+	if apiErr != nil {
+		s.badRequests.Add(1)
+		writeError(w, apiErr)
+		return
+	}
+	checks, apiErr := resolveChecks(c, req.Checks)
+	if apiErr != nil {
+		s.badRequests.Add(1)
+		writeError(w, apiErr)
+		return
+	}
+	if n := batchSize(c, req, checks); n > s.cfg.MaxChecks {
+		s.badRequests.Add(1)
+		writeError(w, badRequest("too_many_checks",
+			"batch expands to %d checks, cap is %d", n, s.cfg.MaxChecks))
+		return
+	}
+
+	// Admission: a slot per batch, non-blocking — the bounded queue.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.rejectedFull.Add(1)
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, &apiError{status: http.StatusTooManyRequests, code: "queue_full",
+			msg: fmt.Sprintf("admission queue full (%d batches)", s.cfg.QueueDepth)})
+		return
+	}
+	s.inflight.Add(1)
+	s.accepted.Add(1)
+	defer func() {
+		<-s.slots
+		s.inflight.Done()
+	}()
+
+	// The batch context: the server's base context (cancelled at the
+	// drain deadline) bounded by the batch timeouts. The client going
+	// away also cancels everything it still has queued.
+	ctx := s.baseCtx
+	if reqCtx := r.Context(); reqCtx != nil {
+		var stop context.CancelFunc
+		ctx, stop = mergeCancel(ctx, reqCtx)
+		defer stop()
+	}
+	if d := minTimeout(s.cfg.BatchTimeout, time.Duration(req.TimeoutMs)*time.Millisecond); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	b := &batch{srv: s, req: req, c: c, checks: checks,
+		opts: engineOptions(req.Options), budgets: engineBudgets(req.Budgets),
+		checkTimeout: minTimeout(s.cfg.CheckTimeout, time.Duration(req.CheckTimeoutMs)*time.Millisecond),
+	}
+	if req.Stream {
+		s.streams.Add(1)
+		b.stream(ctx, w)
+		return
+	}
+	resp := b.run(ctx, nil)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// batchSize is the number of checks a request expands to (-1 when a
+// table1 sweep discovers them during the delay search).
+func batchSize(c *circuit.Circuit, req *Request, checks []resolvedCheck) int {
+	if req.Sweep == nil {
+		return len(checks)
+	}
+	if req.Sweep.Table1 {
+		return -1
+	}
+	return len(req.Sweep.Deltas) * len(c.PrimaryOutputs())
+}
+
+// mergeCancel derives a context from a that is additionally cancelled
+// when b ends (context.WithoutCancel-free two-parent merge).
+func mergeCancel(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stopCh := make(chan struct{})
+	go func() {
+		select {
+		case <-b.Done():
+			cancel()
+		case <-ctx.Done():
+		case <-stopCh:
+		}
+	}()
+	return ctx, func() { close(stopCh); cancel() }
+}
+
+// minTimeout composes two optional timeouts: the smaller positive one.
+func minTimeout(a, b time.Duration) time.Duration {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0:
+		return a
+	case a < b:
+		return a
+	}
+	return b
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Workers  int    `json:"workers"`
+	Queued   int    `json:"queuedBatches"`
+	Capacity int    `json:"queueDepth"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := Health{Status: "ok", Workers: s.cfg.Workers, Queued: len(s.slots), Capacity: s.cfg.QueueDepth}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// Metrics is the /metrics body: server counters plus the engine-wide
+// ltta.* expvar counters and the aggregated engine telemetry of every
+// check this server ran.
+type Metrics struct {
+	Server map[string]int64 `json:"server"`
+	Engine map[string]int64 `json:"engine"`
+	Checks string           `json:"checksSummary"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := Metrics{
+		Server: map[string]int64{
+			"acceptedBatches":  s.accepted.Load(),
+			"rejectedFull":     s.rejectedFull.Load(),
+			"rejectedDraining": s.rejectedDrain.Load(),
+			"badRequests":      s.badRequests.Load(),
+			"checksRun":        s.checksRun.Load(),
+			"panics":           s.panics.Load(),
+			"streams":          s.streams.Load(),
+			"queuedBatches":    int64(len(s.slots)),
+			"queueDepth":       int64(s.cfg.QueueDepth),
+			"workers":          int64(s.cfg.Workers),
+		},
+		Engine: map[string]int64{},
+		Checks: s.agg.String(),
+	}
+	expvar.Do(func(kv expvar.KeyValue) {
+		if len(kv.Key) > 5 && kv.Key[:5] == "ltta." {
+			if iv, ok := kv.Value.(*expvar.Int); ok {
+				m.Engine[kv.Key] = iv.Value()
+			}
+		}
+	})
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(m)
+}

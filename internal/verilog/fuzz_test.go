@@ -11,6 +11,10 @@ func FuzzParse(f *testing.F) {
 	f.Add("module m; nand #5 u (z, a, b); endmodule")
 	f.Add("module /* c */ m; // x\nendmodule")
 	f.Add("module m (")
+	f.Add("module m (a, b, z); input a, b; output z; wire w; nand #10 g1 (w, a, b); nor #0 g2 (z, w, w); endmodule")
+	f.Add("module m (a, z); input a; output z; buf #(1:2:3) g (z, a); endmodule")
+	f.Add("module m (a, z); input a; output z; not #99999999999999999999 g (z, a); endmodule")
+	f.Add("module m (a, z)\ninput a; output z; endmodule")
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := ParseString(src, Options{DefaultDelay: 3})
 		if err != nil {
