@@ -57,7 +57,7 @@ func BenchmarkFig23CarrySkipDominators(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if v.Check(cout, res.Delay+1).Final != core.NoViolation {
+		if v.Check(cout, res.Delay.Add(1)).Final != core.NoViolation {
 			b.Fatal("δ+1 must be refuted")
 		}
 	}
@@ -151,7 +151,7 @@ func ablationDelta(b *testing.B, c *circuit.Circuit, sinkName string) (circuit.N
 	if err != nil || !res.Exact {
 		b.Fatalf("reference delay failed: %v %+v", err, res)
 	}
-	return sink, res.Delay + 1
+	return sink, res.Delay.Add(1)
 }
 
 func benchAblation(b *testing.B, opts core.Options) {
@@ -244,7 +244,7 @@ func BenchmarkRunAllParallelC880(b *testing.B) {
 		}
 	}
 	v := core.NewVerifier(entry.Circuit, core.Default())
-	delta := v.Topological() + 1
+	delta := v.Topological().Add(1)
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -269,7 +269,7 @@ func benchIndustrialSweep(b *testing.B, cone bool) {
 	opts := core.Default()
 	opts.UseConeSlicing = cone
 	v := core.NewVerifier(c, opts)
-	delta := v.Topological() + 1
+	delta := v.Topological().Add(1)
 	ctx := context.Background()
 	req := core.Request{Delta: delta, Workers: 1}
 	if v.RunAll(ctx, req).Final != core.NoViolation {

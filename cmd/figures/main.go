@@ -87,9 +87,9 @@ func renderFig23() {
 	still := sys.Fixpoint()
 	fmt.Printf("  Corollary-1 narrowing changed domains: %v; system consistent afterwards: %v\n", changed, still)
 
-	repHigh := full.Check(cout, delta+1)
+	repHigh := full.Check(cout, delta.Add(1))
 	fmt.Printf("  δ=%s: plain %s, after dominators %s, after stems %s, case analysis %s (%d backtracks)\n",
-		delta+1, repHigh.BeforeGITD, repHigh.AfterGITD, repHigh.AfterStem, repHigh.CaseAnalysis, maxI(repHigh.Backtracks, 0))
+		delta.Add(1), repHigh.BeforeGITD, repHigh.AfterGITD, repHigh.AfterStem, repHigh.CaseAnalysis, maxI(repHigh.Backtracks, 0))
 	rep := full.Check(cout, delta)
 	fmt.Printf("  δ=%s: verdict %s", delta, rep.Final)
 	if rep.Final == core.ViolationFound {

@@ -1,0 +1,17 @@
+// Command lttalint is the project's vet suite: every analyzer
+// registered by internal/analysis/all, served over cmd/go's vettool
+// protocol. Run it as
+//
+//	go build -o /tmp/lttalint ./cmd/lttalint
+//	go vet -vettool=/tmp/lttalint ./...
+//
+// See DESIGN.md §11 for the invariants the suite enforces.
+package main
+
+import (
+	"repro/internal/analysis"
+	_ "repro/internal/analysis/all"
+	"repro/internal/analysis/unitchecker"
+)
+
+func main() { unitchecker.Main(analysis.All()...) }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolProtocol drives the built binary through cmd/go's real
+// vettool protocol (-V=full handshake, -flags query, vet.cfg run)
+// against a scratch module: one deliberately broken package must trip
+// timesat, and a clean package must pass. This is the regression
+// guard for the unitchecker wire format — the golden tests exercise
+// the analyzers, not the driver.
+func TestVettoolProtocol(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not available")
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "lttalint")
+
+	build := exec.Command(goBin, "build", "-o", tool, "repro/cmd/lttalint")
+	build.Dir = "../.." // repo root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lttalint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "scratch")
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("waveform/time.go", `package waveform
+
+type Time int64
+
+func (t Time) Add(d Time) Time { return t + d }
+`)
+	write("bad/bad.go", `package bad
+
+import "scratch/waveform"
+
+func Later(t waveform.Time) waveform.Time { return t + 1 }
+`)
+	write("good/good.go", `package good
+
+import "scratch/waveform"
+
+func Later(t waveform.Time) waveform.Time { return t.Add(1) }
+`)
+
+	vet := func(pkg string) (string, error) {
+		cmd := exec.Command(goBin, "vet", "-vettool="+tool, pkg)
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := vet("./bad/")
+	if err == nil {
+		t.Errorf("go vet on the broken package succeeded; want failure\n%s", out)
+	}
+	if !strings.Contains(out, "timesat") || !strings.Contains(out, "loses ±∞ saturation") {
+		t.Errorf("go vet output missing the timesat finding:\n%s", out)
+	}
+
+	if out, err := vet("./good/"); err != nil {
+		t.Errorf("go vet on the clean package failed: %v\n%s", err, out)
+	}
+}

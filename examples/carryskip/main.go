@@ -31,7 +31,7 @@ func main() {
 	c := gen.CarrySkipAdder(bits, block, 10)
 	cout, _ := c.NetByName("cout")
 	v := core.NewVerifier(c, core.Options{})
-	delta := v.Topological() - 19
+	delta := v.Topological().Sub(19)
 	sys := v.SystemAfterFixpoint(cout, delta)
 	doms := dom.Dynamic(sys, cout, delta)
 	fmt.Printf("carry-skip %d/%d: %d gates, top %s; check (cout, %s)\n",

@@ -1,0 +1,12 @@
+// Package all links the complete lttalint analyzer suite into the
+// process-wide registry. A driver imports it for effect and calls
+// analysis.All(); a new analyzer joins the suite by adding one blank
+// import here and nothing else.
+package all
+
+import (
+	_ "repro/internal/analysis/passes/ctxflow"
+	_ "repro/internal/analysis/passes/mapdeterminism"
+	_ "repro/internal/analysis/passes/preparedmut"
+	_ "repro/internal/analysis/passes/timesat"
+)

@@ -1,0 +1,147 @@
+// Package analysis is a stdlib-only reimplementation of the core of
+// golang.org/x/tools/go/analysis, sized for this repository's own
+// lint suite (cmd/lttalint). The engine's soundness rests on
+// conventions the compiler cannot check — saturating waveform.Time
+// arithmetic, immutability of the shared core.Prepared, deterministic
+// iteration wherever order reaches output, and context flow through
+// request paths — and the analyzers under passes/ machine-check them.
+//
+// The API deliberately mirrors the x/tools shape (Analyzer, Pass,
+// Diagnostic, a multichecker-style main) so that, should the real
+// dependency ever become available, migration is a handful of import
+// rewrites. It is smaller in two ways: there are no Facts (none of
+// the project analyzers need cross-package state) and no Requires
+// graph (each analyzer walks the AST itself).
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one self-contained static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags, and
+	// lttalint:ignore directives. By convention it is lowercase,
+	// without underscores.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary,
+	// a blank line, then detail.
+	Doc string
+
+	// Flags holds analyzer-specific configuration. The unitchecker
+	// driver exposes each flag as -<name>.<flag>; tests may set them
+	// directly.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report. The returned error aborts the whole run (reserve it
+	// for internal inconsistencies, not findings).
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between one analyzer and one package under
+// analysis. All fields are read-only for the analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver filters findings
+	// suppressed by lttalint:ignore directives.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos token.Pos
+	// Category distinguishes the diagnostic kinds of one analyzer
+	// (e.g. timesat's "rawop" vs "roundtrip"); informational.
+	Category string
+	Message  string
+}
+
+// Finding is a resolved diagnostic as emitted by the drivers: the
+// analyzer that produced it plus a printable position.
+type Finding struct {
+	Analyzer string
+	Category string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// Target is one typechecked package handed to RunAnalyzers by a
+// driver (the unitchecker, the analysistest harness, or an ad-hoc
+// test).
+type Target struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// RunAnalyzers applies each analyzer to the target, filters findings
+// through the lttalint:ignore directives of the target's files, and
+// returns the survivors sorted by position. Directive misuse (a
+// directive with no justification, or one that suppressed nothing) is
+// itself reported, so stale ignores cannot accumulate.
+func RunAnalyzers(t *Target, analyzers []*Analyzer) ([]Finding, error) {
+	dirs := parseDirectives(t.Fset, t.Files)
+	ran := make(map[string]bool, len(analyzers))
+	var out []Finding
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+		}
+		var diags []Diagnostic
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		for _, d := range diags {
+			pos := t.Fset.Position(d.Pos)
+			if dirs.suppresses(a.Name, pos) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Category: d.Category, Position: pos, Message: d.Message})
+		}
+	}
+	out = append(out, dirs.problems(ran)...)
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

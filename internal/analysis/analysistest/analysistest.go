@@ -1,0 +1,222 @@
+// Package analysistest runs an analyzer over golden packages and
+// checks its diagnostics against `// want` expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest but on the standard
+// library alone.
+//
+// Golden packages live under <testdata>/src/<path>, GOPATH-style;
+// imports between golden packages resolve within that tree, and
+// anything else (context, sort, fmt, …) falls back to the toolchain's
+// default importer. A `// want "re1" "re2"` comment expects, on its
+// own line, one diagnostic matching each quoted regular expression;
+// diagnostics without a matching want, and wants without a matching
+// diagnostic, fail the test. Driver-level directive problems (stale
+// or unjustified lttalint:ignore) surface like any other diagnostic
+// and can be expected the same way.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory (tests run with the package directory as working
+// directory).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "testdata")
+}
+
+// Run loads each golden package and checks the analyzer's output
+// against the package's want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			target, err := l.load(path)
+			if err != nil {
+				t.Fatalf("loading %s: %v", path, err)
+			}
+			findings, err := analysis.RunAnalyzers(target, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, target, findings)
+		})
+	}
+}
+
+// loader typechecks golden packages, resolving inter-package imports
+// inside the testdata tree and delegating everything else to the
+// toolchain importer.
+type loader struct {
+	root     string
+	fset     *token.FileSet
+	pkgs     map[string]*analysis.Target
+	fallback types.Importer
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:     root,
+		fset:     fset,
+		pkgs:     map[string]*analysis.Target{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, path); isDir(dir) {
+		target, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return target.Pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+func isDir(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+func (l *loader) load(path string) (*analysis.Target, error) {
+	if t, ok := l.pkgs[path]; ok {
+		return t, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	target := &analysis.Target{Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.pkgs[path] = target
+	return target, nil
+}
+
+// expectation is one quoted regexp of a want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s`)
+
+func parseExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if strings.HasPrefix(text, "/*") {
+					text = strings.TrimSuffix(text, "*/")
+				}
+				loc := wantRe.FindStringIndex(text)
+				if loc == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(text[loc[1]:])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %q: %v", pos, rest, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad regexp %q: %v", pos, pat, err)
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return exps
+}
+
+func check(t *testing.T, target *analysis.Target, findings []analysis.Finding) {
+	t.Helper()
+	exps := parseExpectations(t, target.Fset, target.Files)
+
+	for _, f := range findings {
+		matched := false
+		for _, e := range exps {
+			if !e.met && e.file == f.Position.Filename && e.line == f.Position.Line && e.re.MatchString(f.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		if exps[i].file != exps[j].file {
+			return exps[i].file < exps[j].file
+		}
+		return exps[i].line < exps[j].line
+	})
+	for _, e := range exps {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix introduces a suppression directive:
+//
+//	//lttalint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// The directive suppresses findings of the named analyzers (or "all")
+// on its own line and on the line immediately below, so it works both
+// as a trailing comment on the offending line and as a standalone
+// comment above it. The justification is mandatory — an ignore that
+// cannot say why it exists is itself reported — and a directive that
+// suppresses nothing is reported as stale, so ignores cannot outlive
+// the code they excuse.
+const IgnorePrefix = "//lttalint:ignore"
+
+type directive struct {
+	pos       token.Position
+	names     map[string]bool // nil when the directive names "all"
+	justified bool
+	used      bool
+}
+
+func (d *directive) covers(analyzer string) bool {
+	return d.names == nil || d.names[analyzer]
+}
+
+type directiveSet struct {
+	// byFile maps filename → directives in that file.
+	byFile map[string][]*directive
+}
+
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byFile: map[string][]*directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, IgnorePrefix)
+				d := &directive{pos: fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					if fields[0] != "all" {
+						d.names = map[string]bool{}
+						for _, n := range strings.Split(fields[0], ",") {
+							if n != "" {
+								d.names[n] = true
+							}
+						}
+					}
+					d.justified = len(fields) > 1
+				}
+				ds.byFile[d.pos.Filename] = append(ds.byFile[d.pos.Filename], d)
+			}
+		}
+	}
+	return ds
+}
+
+// suppresses reports whether a justified directive covers a finding
+// of the given analyzer at pos, marking the directive used.
+func (ds *directiveSet) suppresses(analyzer string, pos token.Position) bool {
+	hit := false
+	for _, d := range ds.byFile[pos.Filename] {
+		if !d.justified || !d.covers(analyzer) {
+			continue
+		}
+		if pos.Line == d.pos.Line || pos.Line == d.pos.Line+1 {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// problems reports directive misuse relative to the set of analyzers
+// that actually ran: missing justifications always, staleness only
+// when every analyzer the directive names was part of the run (a
+// single-analyzer test harness must not flag directives aimed at the
+// rest of the suite).
+func (ds *directiveSet) problems(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, dirs := range ds.byFile {
+		for _, d := range dirs {
+			switch {
+			case !d.justified:
+				out = append(out, Finding{
+					Analyzer: "lttalint", Category: "directive", Position: d.pos,
+					Message: "lttalint:ignore needs an analyzer list and a justification",
+				})
+			case !d.used && coveredByRun(d, ran):
+				out = append(out, Finding{
+					Analyzer: "lttalint", Category: "directive", Position: d.pos,
+					Message: "stale lttalint:ignore: it suppresses nothing",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func coveredByRun(d *directive, ran map[string]bool) bool {
+	if d.names == nil {
+		return true // "all": the run set is by definition covered
+	}
+	for n := range d.names {
+		if !ran[n] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+// Package ctxflow flags broken context plumbing on the engine's
+// request paths.
+//
+// Cancellation is part of the Run(ctx, Request) contract: a check
+// must return Cancelled within a poll interval of its context firing.
+// That only holds if every exported entry point that accepts a
+// context actually threads it down to the solver, and if no function
+// on a request path quietly rebases its work onto a fresh
+// context.Background().
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check; see the package documentation.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: `flags dropped context.Context parameters and context.Background() smuggled into request paths
+
+Within the packages named by -pkgs, an exported function whose
+context.Context parameter is never referenced is reported, as is any
+context.Background()/context.TODO() call inside a function that
+already has a context parameter — except the nil-default idiom that
+assigns the fresh context to the parameter itself
+("if ctx == nil { ctx = context.Background() }").`,
+	Run: run,
+}
+
+var pkgsFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgsFlag, "pkgs", "core,server,client", "comma-separated package basenames whose request paths are checked")
+	analysis.Register(Analyzer)
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), pkgsFlag) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDroppedParam(pass, fd)
+			checkSmuggledBackground(pass, fd)
+		}
+	}
+	return nil
+}
+
+func inScope(pkgPath, pkgs string) bool {
+	base := strings.TrimSuffix(analysis.PkgPathBase(pkgPath), "_test")
+	for _, p := range strings.Split(pkgs, ",") {
+		if strings.TrimSpace(p) == base {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxParam returns the *types.Var of the function's first
+// context.Context parameter along with its declared name ("" for
+// unnamed/blank), or nil.
+func ctxParam(pass *analysis.Pass, ft *ast.FuncType) (*types.Var, string) {
+	if ft.Params == nil {
+		return nil, ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !analysis.IsType(tv.Type, "context", "Context") {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return types.NewVar(field.Pos(), pass.Pkg, "", tv.Type), ""
+		}
+		name := field.Names[0]
+		if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+			return obj, name.Name
+		}
+		// Blank "_" params define no object; synthesize one so the
+		// dropped-param check still fires.
+		return types.NewVar(name.Pos(), pass.Pkg, name.Name, tv.Type), name.Name
+	}
+	return nil, ""
+}
+
+// checkDroppedParam reports an exported function that accepts a
+// context but never references it: the caller's deadline and
+// cancellation silently die at this frame.
+func checkDroppedParam(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	obj, name := ctxParam(pass, fd.Type)
+	if obj == nil {
+		return
+	}
+	if name != "" && name != "_" && usesObject(pass, fd.Body, obj) {
+		return
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos: obj.Pos(), Category: "dropped",
+		Message: fd.Name.Name + " accepts a context.Context but drops it; thread it through to the solver or remove the parameter",
+	})
+}
+
+func usesObject(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// checkSmuggledBackground reports context.Background()/TODO() calls
+// in functions that already received a context. The one allowed shape
+// is the nil-default idiom assigning straight to the parameter.
+func checkSmuggledBackground(pass *analysis.Pass, fd *ast.FuncDecl) {
+	obj, name := ctxParam(pass, fd.Type)
+	if obj == nil || name == "" || name == "_" {
+		return // no usable inbound context; Background is legitimate
+	}
+	info := pass.TypesInfo
+
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBackgroundOrTODO(info, call) {
+			return true
+		}
+		if !assignsToParam(info, stack, obj) {
+			pass.Report(analysis.Diagnostic{
+				Pos: call.Pos(), Category: "smuggled",
+				Message: "context.Background() discards the caller's " + name + "; derive from " + name + " instead",
+			})
+		}
+		return true
+	})
+}
+
+func isBackgroundOrTODO(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// assignsToParam reports whether the call on top of the stack is the
+// sole right-hand side of an assignment whose target is the context
+// parameter itself — `ctx = context.Background()`.
+func assignsToParam(info *types.Info, stack []ast.Node, obj types.Object) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	asg, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	id, ok := asg.Lhs[0].(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	// "core" is inside the -pkgs scope and seeds dropped-param and
+	// smuggled-Background findings plus the nil-default and
+	// unexported negatives; "other" proves the scope cut-off.
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "core", "other")
+}

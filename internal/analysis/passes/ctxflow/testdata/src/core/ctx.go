@@ -1,0 +1,59 @@
+// Package core is a golden-test stand-in for repro/internal/core,
+// one of the packages on the engine's request path.
+package core
+
+import "context"
+
+func use(ctx context.Context) {}
+
+// Dropped accepts a context and never looks at it.
+func Dropped(ctx context.Context, x int) int { // want `Dropped accepts a context\.Context but drops it`
+	return x + 1
+}
+
+// DroppedBlank discards the caller's context explicitly.
+func DroppedBlank(_ context.Context) {} // want `DroppedBlank accepts a context\.Context but drops it`
+
+// DroppedUnnamed does not even name the parameter.
+func DroppedUnnamed(context.Context) {} // want `DroppedUnnamed accepts a context\.Context but drops it`
+
+// Engine stands in for the check engine.
+type Engine struct{}
+
+// Run drops the context on a method entry point.
+func (e *Engine) Run(ctx context.Context) {} // want `Run accepts a context\.Context but drops it`
+
+// Smuggled touches ctx but rebases the real work on Background.
+func Smuggled(ctx context.Context) {
+	use(context.Background()) // want `context\.Background\(\) discards the caller's ctx`
+	use(ctx)
+}
+
+// SmuggledTODO does the same with TODO inside a closure.
+func SmuggledTODO(ctx context.Context) {
+	f := func() { use(context.TODO()) } // want `context\.Background\(\) discards the caller's ctx`
+	f()
+	use(ctx)
+}
+
+// OK threads its context; silent.
+func OK(ctx context.Context) { use(ctx) }
+
+// OKDefault is the allowed nil-default idiom; silent.
+func OKDefault(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	use(ctx)
+}
+
+// dropped is unexported — not an entry point; silent.
+func dropped(ctx context.Context) {}
+
+// NoCtx has no inbound context, so Background is legitimate; silent.
+func NoCtx() { use(context.Background()) }
+
+// Suppressed shows a justified escape hatch.
+func Suppressed(ctx context.Context) { //lttalint:ignore ctxflow golden test of the suppression path
+	_ = 0
+}

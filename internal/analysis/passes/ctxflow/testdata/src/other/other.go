@@ -1,0 +1,8 @@
+// Package other sits outside the -pkgs scope: the same shapes that
+// fire in core must stay silent here.
+package other
+
+import "context"
+
+// Dropped would be a finding inside the request-path scope.
+func Dropped(ctx context.Context) {}

@@ -1,0 +1,250 @@
+// Package mapdeterminism flags map iteration whose order can leak
+// into output.
+//
+// The parallel RunAll sweep, the harness's Table-1 artefacts, and the
+// lttad NDJSON stream all promise byte-identical results across runs;
+// Go map iteration order is deliberately randomised, so a `range`
+// over a map that appends to an output slice, sends work into a
+// channel, or writes/encodes output directly re-randomises those
+// results on every run. The canonical fix is the keys-then-sort
+// idiom; appending into a slice that is visibly sorted immediately
+// after the loop is therefore accepted.
+package mapdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check; see the package documentation.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapdeterminism",
+	Doc: `flags map ranges whose iteration order feeds appended output, fired events, or scheduled work
+
+Within the packages named by -pkgs, a range over a map is reported
+when its body appends to a slice declared outside the loop (unless a
+sort/slices call over that slice follows in the same block), sends on
+a channel, or prints/encodes output. Commutative aggregation (sums,
+maxima, set inserts) is untouched.`,
+	Run: run,
+}
+
+var pkgsFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgsFlag, "pkgs", "core,harness,server", "comma-separated package basenames the determinism guarantee covers")
+	analysis.Register(Analyzer)
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), pkgsFlag) {
+		return nil
+	}
+	info := pass.TypesInfo
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rng := asMapRange(info, stmt)
+				if rng == nil {
+					continue
+				}
+				checkRangeBody(pass, rng, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inScope(pkgPath, pkgs string) bool {
+	base := strings.TrimSuffix(analysis.PkgPathBase(pkgPath), "_test")
+	for _, p := range strings.Split(pkgs, ",") {
+		if strings.TrimSpace(p) == base {
+			return true
+		}
+	}
+	return false
+}
+
+// asMapRange unwraps labels and returns stmt as a range-over-map, or
+// nil.
+func asMapRange(info *types.Info, stmt ast.Stmt) *ast.RangeStmt {
+	for {
+		l, ok := stmt.(*ast.LabeledStmt)
+		if !ok {
+			break
+		}
+		stmt = l.Stmt
+	}
+	rng, ok := stmt.(*ast.RangeStmt)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	return rng
+}
+
+func checkRangeBody(pass *analysis.Pass, rng *ast.RangeStmt, later []ast.Stmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is analyzed on its own; one diagnostic
+			// per leaking statement is enough.
+			if asMapRange(info, n) != nil {
+				return false
+			}
+		case *ast.SendStmt:
+			pass.Report(analysis.Diagnostic{
+				Pos: n.Arrow, Category: "send",
+				Message: "channel send inside a map range schedules work in random order; iterate sorted keys",
+			})
+		case *ast.AssignStmt:
+			if obj := appendTarget(info, n); obj != nil && declaredOutside(obj, rng) && !sortedLater(info, obj, later) {
+				pass.Report(analysis.Diagnostic{
+					Pos: n.Pos(), Category: "append",
+					Message: "append to " + obj.Name() + " inside a map range leaks iteration order into output; iterate sorted keys or sort " + obj.Name() + " afterwards",
+				})
+			}
+		case *ast.CallExpr:
+			if what := outputCall(info, n); what != "" {
+				pass.Report(analysis.Diagnostic{
+					Pos: n.Pos(), Category: "output",
+					Message: what + " inside a map range emits output in random order; iterate sorted keys",
+				})
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget returns the object of `s` in the self-append
+// `s = append(s, ...)` (also s := append(s, ...)), or nil.
+func appendTarget(info *types.Info, n *ast.AssignStmt) types.Object {
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := n.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if _, builtin := info.Uses[fun].(*types.Builtin); !builtin || fun.Name != "append" {
+		return nil
+	}
+	obj := info.ObjectOf(lhs)
+	if obj == nil {
+		return nil
+	}
+	if arg, ok := call.Args[0].(*ast.Ident); !ok || info.ObjectOf(arg) != obj {
+		return nil
+	}
+	return obj
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// range statement — appends to loop-local slices do not outlive an
+// iteration's scope and cannot leak order.
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedLater reports whether a statement after the range visibly
+// sorts obj: a call into package sort or slices mentioning obj in its
+// arguments (sort.Strings(keys), slices.SortFunc(rows, …),
+// sort.Slice(rows, …), sort.Sort(byName(rows)), …).
+func sortedLater(info *types.Info, obj types.Object, later []ast.Stmt) bool {
+	for _, stmt := range later {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// outputCall classifies calls that emit externally visible output:
+// the fmt print family writing to a writer or stdout, and
+// Encode/Write-style methods on streams.
+func outputCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if pkgID, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[pkgID].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && strings.HasPrefix(sel.Sel.Name, "Print") ||
+				pn.Imported().Path() == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint") {
+				return "fmt." + sel.Sel.Name
+			}
+			return ""
+		}
+	}
+	// Methods: only the classic streaming sinks, to keep aggregation
+	// and bookkeeping calls out of scope.
+	switch sel.Sel.Name {
+	case "Encode", "Write", "WriteString":
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return "(" + types.TypeString(s.Recv(), nil) + ")." + sel.Sel.Name
+		}
+	}
+	return ""
+}

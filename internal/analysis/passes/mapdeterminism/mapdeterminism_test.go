@@ -1,0 +1,15 @@
+package mapdeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/mapdeterminism"
+)
+
+func TestMapDeterminism(t *testing.T) {
+	// "core" is inside the -pkgs scope and seeds every diagnostic
+	// kind plus the keys-then-sort negatives; "other" proves the
+	// scope cut-off.
+	analysistest.Run(t, analysistest.TestData(t), mapdeterminism.Analyzer, "core", "other")
+}

@@ -1,0 +1,111 @@
+// Package core is a golden-test stand-in for repro/internal/core,
+// one of the packages the determinism guarantee covers.
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// Keys uses the canonical keys-then-sort idiom and stays silent.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// KeysSlices sorts via package slices; also silent.
+func KeysSlices(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedRows sorts with sort.Slice after the loop; silent.
+func SortedRows(m map[string]int) []string {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// Leak appends map-ordered values to output with no sort in sight.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside a map range leaks iteration order`
+	}
+	return out
+}
+
+// Schedule fans work out of a map range in random order.
+func Schedule(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside a map range schedules work in random order`
+	}
+}
+
+// Print emits output straight from a map range.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside a map range emits output in random order`
+	}
+}
+
+type encoder struct{}
+
+func (encoder) Encode(v int) error { return nil }
+
+// Stream encodes records in map order.
+func Stream(m map[string]int, enc encoder) {
+	for _, v := range m {
+		enc.Encode(v) // want `Encode inside a map range emits output in random order`
+	}
+}
+
+// Sum is commutative aggregation and stays silent.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// LocalOnly appends to a loop-local slice; order never escapes an
+// iteration, so it stays silent.
+func LocalOnly(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// SliceRange iterates a slice — ordered, silent.
+func SliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Suppressed shows a justified escape hatch for an order-insensitive
+// consumer.
+func Suppressed(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v //lttalint:ignore mapdeterminism golden test of the suppression path
+	}
+}

@@ -1,0 +1,12 @@
+// Package other sits outside the -pkgs scope: the same pattern that
+// fires in core must stay silent here.
+package other
+
+// Leak would be a finding inside the determinism scope.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package preparedmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/preparedmut"
+)
+
+func TestPreparedMut(t *testing.T) {
+	// "core" seeds in-package writes (with declaring-file and
+	// constructor-file allowances), "circuit" hosts the protected
+	// ConeMap, and "user" seeds the cross-package mutations.
+	analysistest.Run(t, analysistest.TestData(t), preparedmut.Analyzer, "core", "circuit", "user")
+}

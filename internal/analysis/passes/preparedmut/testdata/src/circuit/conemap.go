@@ -1,0 +1,10 @@
+// Package circuit is a golden-test stand-in for
+// repro/internal/circuit, home of the protected ConeMap.
+package circuit
+
+// ConeMap mirrors circuit.ConeMap: id translation tables shared by
+// every verifier on a cone.
+type ConeMap struct {
+	ToCone   []int
+	FromCone []int
+}

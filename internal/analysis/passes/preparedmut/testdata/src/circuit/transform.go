@@ -1,0 +1,12 @@
+package circuit
+
+// Extract builds a ConeMap; transform.go is a configured constructor
+// file, so these writes are allowed.
+func Extract(n int) *ConeMap {
+	cm := &ConeMap{}
+	for i := 0; i < n; i++ {
+		cm.ToCone = append(cm.ToCone, i)
+		cm.FromCone = append(cm.FromCone, i)
+	}
+	return cm
+}

@@ -1,0 +1,36 @@
+package core
+
+// trample performs every flavour of post-construction write the
+// analyzer must catch.
+func trample(p *Prepared, cp *conePrep) {
+	p.stems = nil                  // want `assignment mutates shared core\.Prepared`
+	p.stems[0] = 1                 // want `assignment mutates shared core\.Prepared`
+	p.cones[7] = cp                // want `assignment mutates shared core\.Prepared`
+	delete(p.cones, 7)             // want `delete\(\) mutates shared core\.Prepared`
+	copy(p.stems, []int{1})        // want `copy\(\) into mutates shared core\.Prepared`
+	cp.full = true                 // want `assignment mutates shared core\.conePrep`
+	cp.stems = append(cp.stems, 3) // want `assignment mutates shared core\.conePrep`
+	p.c.Nets[0] = 9                // want `assignment mutates shared core\.Prepared`
+}
+
+// reads only observe the precompute and stay silent.
+func reads(p *Prepared) int {
+	x := 0
+	if len(p.stems) > 0 {
+		x = p.stems[0]
+	}
+	if cp := p.cones[x]; cp != nil && cp.full {
+		return 1
+	}
+	return len(p.c.Nets)
+}
+
+type unprotected struct{ stems []int }
+
+// okOther writes to an unprotected type and stays silent.
+func okOther(u *unprotected) { u.stems = append(u.stems, 1) }
+
+// suppressed shows a justified escape hatch.
+func suppressed(p *Prepared) {
+	p.stems = nil //lttalint:ignore preparedmut golden test of the suppression path
+}

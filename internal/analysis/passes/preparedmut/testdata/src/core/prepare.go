@@ -1,0 +1,10 @@
+package core
+
+// prepare lives in a configured constructor file (prepare.go), so its
+// writes into the shared precompute are allowed.
+func (p *Prepared) prepare(id int) *conePrep {
+	cp := &conePrep{}
+	cp.stems = append(cp.stems, id)
+	p.cones[id] = cp
+	return cp
+}

@@ -1,0 +1,32 @@
+// Package core is a golden-test stand-in for repro/internal/core:
+// preparedmut matches protected types by package basename and type
+// name. This file declares the protected types, so its own mutations
+// are allowed (it is their home).
+package core
+
+// Circuit stands in for the shared netlist.
+type Circuit struct {
+	Nets []int
+}
+
+// Prepared mirrors core.Prepared: shared, immutable after build.
+type Prepared struct {
+	c     *Circuit
+	stems []int
+	cones map[int]*conePrep
+}
+
+type conePrep struct {
+	full  bool
+	stems []int
+}
+
+// NewPrepared builds the precompute; declaring-file writes are fine.
+func NewPrepared(c *Circuit) *Prepared {
+	p := &Prepared{c: c, cones: map[int]*conePrep{}}
+	p.stems = append(p.stems, 1)
+	return p
+}
+
+// Stems exposes the stem slice read-only.
+func (p *Prepared) Stems() []int { return p.stems }

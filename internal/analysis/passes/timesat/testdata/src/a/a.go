@@ -1,0 +1,60 @@
+// Package a seeds every timesat diagnostic kind plus the idiomatic
+// negatives that must stay silent.
+package a
+
+import "waveform"
+
+// Violations: raw two-operand arithmetic.
+
+func rawAdd(t, d waveform.Time) waveform.Time {
+	return t + d // want `raw \+ on waveform\.Time loses ±∞ saturation`
+}
+
+func rawSubConst(t waveform.Time) waveform.Time {
+	return t - 1 // want `raw - on waveform\.Time loses ±∞ saturation`
+}
+
+func rawMixed(t waveform.Time, d int) waveform.Time {
+	return t + waveform.Time(d) // want `raw \+ on waveform\.Time`
+}
+
+// Violations: compound assignment and inc/dec.
+
+func rawCompound(t, d waveform.Time) waveform.Time {
+	t += d // want `raw \+= on waveform\.Time`
+	t -= 2 // want `raw -= on waveform\.Time`
+	t++    // want `raw \+\+ on waveform\.Time`
+	t--    // want `raw -- on waveform\.Time`
+	return t
+}
+
+// Violation: escaping to int64, computing, and converting back.
+
+func roundTrip(a, b waveform.Time) waveform.Time {
+	return waveform.Time(int64(a) + int64(b)) // want `round-trips through an integer conversion`
+}
+
+func roundTripPlain(t waveform.Time) waveform.Time {
+	return waveform.Time(int64(t)) // want `round-trips through an integer conversion`
+}
+
+// A justified suppression is honoured and not reported as stale.
+func suppressed(t waveform.Time) waveform.Time {
+	return t + 7 //lttalint:ignore timesat golden test of the suppression path
+}
+
+// Negatives: the saturating API, comparisons, constants, and
+// serialization-only conversions are all fine.
+
+func okAPI(t, d waveform.Time) waveform.Time {
+	u := t.Add(d).Sub(3)
+	return waveform.MaxTime(waveform.MinTime(u, t), d)
+}
+
+func okCompare(t, d waveform.Time) bool { return t < d || t >= waveform.PosInf }
+
+const okConst = waveform.PosInf - 1 // typed constant: overflow is a compile error
+
+func okSerialize(t waveform.Time) int64 { return int64(t) }
+
+func okPlainInts(a, b int64) int64 { return a + b }

@@ -1,0 +1,16 @@
+// Directive hygiene: the driver reports suppressions that are stale
+// or carry no justification, so ignores cannot rot in place.
+package a
+
+import "waveform"
+
+// The excuse below suppresses nothing (Add is fine), so the directive
+// itself is flagged as stale.
+func clean(t waveform.Time) waveform.Time {
+	return t.Add(1) //lttalint:ignore timesat stale excuse, nothing fires here // want `stale lttalint:ignore`
+}
+
+// A bare directive without a justification is rejected outright.
+func alsoClean(t waveform.Time) waveform.Time {
+	return t.Add(2) /* want `lttalint:ignore needs an analyzer list and a justification` */ //lttalint:ignore timesat
+}

@@ -1,0 +1,53 @@
+// Package waveform is a golden-test stand-in for the real
+// repro/internal/waveform: timesat matches the type by package
+// basename and type name, so this package both feeds the violating
+// package under test and proves the analyzer stays silent inside the
+// saturating implementation itself.
+package waveform
+
+// Time mirrors waveform.Time.
+type Time int64
+
+// NegInf and PosInf mirror the sentinel plateau.
+const (
+	NegInf Time = -1 << 60
+	PosInf Time = 1 << 60
+)
+
+// Add saturates at the infinities. The raw arithmetic below is the
+// one place it is allowed; no diagnostics may appear in this file.
+func (t Time) Add(d Time) Time {
+	if t <= NegInf {
+		return NegInf
+	}
+	if t >= PosInf {
+		return PosInf
+	}
+	s := t + d
+	if s <= NegInf {
+		return NegInf
+	}
+	if s >= PosInf {
+		return PosInf
+	}
+	return s
+}
+
+// Sub is saturating subtraction.
+func (t Time) Sub(d Time) Time { return t.Add(-d) }
+
+// MinTime returns the smaller time.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the larger time.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+// Package timesat flags raw arithmetic on waveform.Time outside the
+// waveform package itself.
+//
+// waveform.Time reserves sentinel values for ±∞ (Def. 1's unbounded
+// initial domains) and keeps them stable only through the saturating
+// Add/Sub; a raw `t + d` can walk a sentinel off its plateau and turn
+// an unbounded last-transition interval into a huge-but-finite one,
+// silently unsoundly. The same applies to escaping a Time into int64,
+// doing plain machine arithmetic there, and converting back.
+package timesat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check; see the package documentation.
+var Analyzer = &analysis.Analyzer{
+	Name: "timesat",
+	Doc: `flags raw +/-/+=/-=/++/-- and int64 round-trips on waveform.Time
+
+Callers outside internal/waveform must use Time.Add, Time.Sub,
+waveform.MinTime, and waveform.MaxTime, which saturate at the ±∞
+sentinels. Constant expressions are exempt (the compiler rejects
+overflow there); comparisons and serialization-only int64(t)
+conversions are not arithmetic and stay legal.`,
+	Run: run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+func run(pass *analysis.Pass) error {
+	if base := analysis.PkgPathBase(pass.Pkg.Path()); base == "waveform" ||
+		strings.TrimSuffix(base, "_test") == "waveform" {
+		return nil // the saturating implementation itself
+	}
+	info := pass.TypesInfo
+
+	isTime := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && analysis.IsType(tv.Type, "waveform", "Time")
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD && n.Op != token.SUB {
+					return true
+				}
+				if tv, ok := info.Types[n]; ok && tv.Value != nil {
+					return true // constant-folded: overflow is a compile error
+				}
+				if isTime(n.X) || isTime(n.Y) {
+					pass.Report(analysis.Diagnostic{
+						Pos: n.OpPos, Category: "rawop",
+						Message: "raw " + n.Op.String() + " on waveform.Time loses ±∞ saturation; use Add/Sub",
+					})
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				if len(n.Lhs) == 1 && isTime(n.Lhs[0]) {
+					pass.Report(analysis.Diagnostic{
+						Pos: n.TokPos, Category: "rawop",
+						Message: "raw " + n.Tok.String() + " on waveform.Time loses ±∞ saturation; use Add/Sub",
+					})
+				}
+			case *ast.IncDecStmt:
+				if isTime(n.X) {
+					pass.Report(analysis.Diagnostic{
+						Pos: n.TokPos, Category: "rawop",
+						Message: "raw " + n.Tok.String() + " on waveform.Time loses ±∞ saturation; use Add/Sub",
+					})
+				}
+			case *ast.CallExpr:
+				if conv, arg := asConversion(info, n); conv != nil && analysis.IsType(conv, "waveform", "Time") {
+					if findIntEscape(info, arg) != nil {
+						pass.Report(analysis.Diagnostic{
+							Pos: n.Pos(), Category: "roundtrip",
+							Message: "waveform.Time round-trips through an integer conversion; keep the value a Time and use Add/Sub",
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// asConversion returns (target type, argument) when call is a type
+// conversion, else (nil, nil).
+func asConversion(info *types.Info, call *ast.CallExpr) (types.Type, ast.Expr) {
+	if len(call.Args) != 1 {
+		return nil, nil
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, nil
+	}
+	return tv.Type, call.Args[0]
+}
+
+// findIntEscape looks inside a conversion argument for a Time value
+// escaping into a plain integer type (`int64(t)` and friends), the
+// first half of an unsaturated round trip.
+func findIntEscape(info *types.Info, arg ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		target, inner := asConversion(info, call)
+		if target == nil {
+			return true
+		}
+		if b, ok := target.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+			return true
+		}
+		if tv, ok := info.Types[inner]; ok && analysis.IsType(tv.Type, "waveform", "Time") {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package timesat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/timesat"
+)
+
+func TestTimesat(t *testing.T) {
+	// Package "a" seeds one violation per diagnostic kind plus the
+	// saturating negatives; package "waveform" holds raw arithmetic the
+	// analyzer must exempt (it is the implementation).
+	analysistest.Run(t, analysistest.TestData(t), timesat.Analyzer, "a", "waveform")
+}

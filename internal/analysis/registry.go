@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*Analyzer{}
+)
+
+// Register adds an analyzer to the process-wide registry. Analyzers
+// self-register from an init function in their own package, so a
+// driver opts a check in by importing it (see internal/analysis/all)
+// and cmd/lttalint never changes as the suite grows. Registering two
+// analyzers under one name panics: it is a build-time mistake.
+func Register(a *Analyzer) {
+	if a == nil || a.Name == "" || a.Run == nil {
+		panic("analysis: Register of incomplete analyzer")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[a.Name]; dup {
+		panic(fmt.Sprintf("analysis: duplicate analyzer %q", a.Name))
+	}
+	registry[a.Name] = a
+}
+
+// All returns every registered analyzer, sorted by name.
+func All() []*Analyzer {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

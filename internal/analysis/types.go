@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// PkgPathBase returns the last element of a package path, with any
+// test-variant suffix ("pkg [pkg.test]", as produced by go vet for
+// test-augmented compilation units) stripped first. Analyzers match
+// packages and types by this base name rather than the full module
+// path so that the analysistest golden packages — which live under
+// testdata roots with short import paths — exercise exactly the
+// production code path.
+func PkgPathBase(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return path
+}
+
+// Deref removes one level of pointer indirection.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// AsNamed returns the named type behind t, looking through one
+// pointer, or nil.
+func AsNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := Deref(t).(*types.Named)
+	return n
+}
+
+// IsType reports whether t (or *t) is the named type pkgBase.name,
+// where pkgBase is matched against the base of the defining package's
+// path (see PkgPathBase).
+func IsType(t types.Type, pkgBase, name string) bool {
+	n := AsNamed(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == name && PkgPathBase(obj.Pkg().Path()) == pkgBase
+}

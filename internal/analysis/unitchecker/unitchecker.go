@@ -1,0 +1,256 @@
+// Package unitchecker makes an analyzer suite runnable as a `go vet
+// -vettool`. It speaks cmd/go's vet protocol on the standard library
+// alone — the same contract as golang.org/x/tools/go/analysis/
+// unitchecker, minus facts (no analyzer in this suite needs
+// cross-package state):
+//
+//   - `tool -V=full` prints an identity line cmd/go hashes into its
+//     build cache key;
+//   - `tool -flags` prints a JSON description of the tool's flags so
+//     `go vet` can validate command-line arguments;
+//   - `tool <dir>/vet.cfg` analyzes one package unit described by the
+//     JSON config: it parses the listed files, typechecks them against
+//     the export data cmd/go already compiled for every dependency,
+//     runs the analyzers, and exits nonzero if findings remain.
+//
+// Diagnostics go to stderr in the usual file:line:col format, which
+// `go vet` relays per package.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config is the JSON unmarshalling of a vet.cfg file: the fields of
+// cmd/go's vetConfig that this driver consumes. Unknown fields are
+// ignored, so the struct tracks only what we need.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool main package:
+//
+//	func main() { unitchecker.Main(analysis.All()...) }
+func Main(analyzers ...*analysis.Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("lttalint: ")
+
+	printFlags := flag.Bool("flags", false, "print flags in JSON (for go vet)")
+	flag.Var(versionFlag{}, "V", "print version and exit (-V=full for a build identity)")
+	enabled := map[string]*bool{}
+	for _, a := range analyzers {
+		a := a
+		enabled[a.Name] = flag.Bool(a.Name, false, "run only analyzers explicitly enabled this way ("+firstLine(a.Doc)+")")
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "lttalint: the repro project vet suite; run via: go vet -vettool=$(which lttalint) ./...")
+		fmt.Fprintln(os.Stderr, "usage: lttalint [flags] <vet.cfg>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *printFlags {
+		describeFlags()
+		os.Exit(0)
+	}
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	// An explicit -<analyzer> selects a subset; default is the suite.
+	var selected []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if selected == nil {
+		selected = analyzers
+	}
+
+	findings, err := runUnit(args[0], selected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// versionFlag implements -V=full: cmd/go hashes the reported identity
+// into the build cache key of every vet result, so the output must
+// change whenever the tool's behaviour can — hashing the executable
+// itself achieves that.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Open(os.Args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, exe); err != nil {
+		log.Fatal(err)
+	}
+	exe.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// describeFlags prints the JSON flag description `go vet` requests
+// before dispatching, mirroring x/tools' analysisflags output shape.
+func describeFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// runUnit analyzes the single package unit described by cfgFile.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) ([]analysis.Finding, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// cmd/go expects the vetx output file of every vet action, and runs
+	// dependency units with VetxOnly just for their facts. This suite
+	// carries no facts, so the file is an empty placeholder.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	}
+	if cfg.VetxOnly {
+		return nil, writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0) // e.g. tests of a package with deliberate errors
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		ipath, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if ipath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(ipath)
+	})
+
+	tc := &types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	findings, err := analysis.RunAnalyzers(&analysis.Target{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return findings, writeVetx()
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -70,7 +70,7 @@ func TestFixpointMonotoneInCheck(t *testing.T) {
 		po := c.PrimaryOutputs()[0]
 		prevInconsistent := false
 		var prev []waveform.Signal
-		for delta := waveform.Time(0); delta < 20; delta += 3 {
+		for delta := waveform.Time(0); delta < 20; delta = delta.Add(3) {
 			s := New(c)
 			s.Narrow(po, waveform.CheckOutput(delta))
 			s.ScheduleAll()

@@ -70,7 +70,7 @@ func TestNarrowingSoundness(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Probe deltas around the exact delay.
-		for _, delta := range []waveform.Time{exact - 2, exact - 1, exact, exact + 1, exact + 2, exact + 7} {
+		for _, delta := range []waveform.Time{exact.Sub(2), exact.Sub(1), exact, exact.Add(1), exact.Add(2), exact.Add(7)} {
 			if delta < 0 {
 				continue
 			}

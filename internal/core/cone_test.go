@@ -90,7 +90,7 @@ func TestConeDifferentialSuite(t *testing.T) {
 			}
 			cv, wv := conePair(e.Circuit, budget)
 			top := cv.Topological()
-			deltas := []waveform.Time{top + 1, top}
+			deltas := []waveform.Time{top.Add(1), top}
 			if !testing.Short() {
 				deltas = append(deltas, top*3/4)
 			}
@@ -101,7 +101,7 @@ func TestConeDifferentialSuite(t *testing.T) {
 					b := wv.Run(ctx, req)
 					label := e.Name + " " + e.Circuit.Net(po).Name + " δ=" + d.String()
 					diffReports(t, e.Circuit, label, a, b)
-					if d == top+1 && a.Final != NoViolation {
+					if d == top.Add(1) && a.Final != NoViolation {
 						t.Fatalf("%s: beyond-top check must refute, got %s", label, a.Final)
 					}
 				}
@@ -120,7 +120,7 @@ func TestConeDifferentialParallelRunAll(t *testing.T) {
 	c := gen.Industrial(3, 24, 10)
 	cv, wv := conePair(c, 50000)
 	top := cv.Topological()
-	for _, d := range []waveform.Time{top + 1, top} {
+	for _, d := range []waveform.Time{top.Add(1), top} {
 		par := cv.RunAll(ctx, Request{Delta: d, Workers: 4})
 		ser := wv.RunAll(ctx, Request{Delta: d, Workers: 1})
 		if par.Final != ser.Final || par.BeforeGITD != ser.BeforeGITD ||
@@ -205,7 +205,7 @@ func FuzzConeEquivalence(f *testing.F) {
 		if delta < 0 {
 			delta = -delta
 		}
-		d := waveform.Time(delta % (int64(top) + 3))
+		d := waveform.Time(delta % (int64(top) + 3)) //lttalint:ignore timesat fuzz input reduced modulo the finite topological delay; modulo is outside the Time API
 		ctx := context.Background()
 		for _, po := range c.PrimaryOutputs() {
 			req := Request{Sink: po, Delta: d}

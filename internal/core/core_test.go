@@ -192,7 +192,7 @@ func TestDominatorsEnableRefutation(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := NewVerifier(c, Default())
-	rep := v.Check(cout, exact+1)
+	rep := v.Check(cout, exact.Add(1))
 	if rep.Final != NoViolation {
 		t.Fatalf("δ=exact+1 must be refuted, got %s", rep.Final)
 	}
@@ -212,7 +212,7 @@ func TestAbandonedOnTinyBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := v.Check(cout, exact+1)
+	rep := v.Check(cout, exact.Add(1))
 	if rep.Final == ViolationFound {
 		t.Fatal("δ=exact+1 can never be a violation")
 	}

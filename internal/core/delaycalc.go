@@ -60,7 +60,7 @@ func (v *Verifier) ExactFloatingDelayCtx(ctx context.Context, sink circuit.NetID
 	res := &DelayResult{Lower: -1}
 	cursor := waveform.Time(-1) // search navigation; may pass abandoned points
 	for cursor < upper {
-		mid := cursor + (upper-cursor+1)/2
+		mid := waveform.MidpointCeil(cursor, upper)
 		req.Sink, req.Delta = sink, mid
 		rep := v.Run(ctx, req)
 		res.Checks++
@@ -73,7 +73,7 @@ func (v *Verifier) ExactFloatingDelayCtx(ctx context.Context, sink circuit.NetID
 			res.Lower = mid
 			res.Witness = rep.Witness
 		case NoViolation:
-			upper = mid - 1
+			upper = mid.Sub(1)
 		case Cancelled:
 			res.Delay = upper
 			res.Exact = false

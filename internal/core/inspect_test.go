@@ -99,7 +99,7 @@ func TestBacktraceDeadEnds(t *testing.T) {
 	}
 	// Sanity: the engine terminates and certifies on this reconvergent
 	// structure at and above the exact delay.
-	if rep := v.Check(z, res.Delay+1); rep.Final != NoViolation {
+	if rep := v.Check(z, res.Delay.Add(1)); rep.Final != NoViolation {
 		t.Fatalf("δ+1 must be refuted, got %s", rep.Final)
 	}
 }

@@ -63,8 +63,8 @@ func TestCheckAllParallelOnSuiteCircuit(t *testing.T) {
 		}
 		v := NewVerifier(e.Circuit, Default())
 		top := v.Topological()
-		serial := v.CheckAll(top + 1)
-		par := v.CheckAllParallel(top+1, 0)
+		serial := v.CheckAll(top.Add(1))
+		par := v.CheckAllParallel(top.Add(1), 0)
 		if serial.Final != par.Final || serial.Final != NoViolation {
 			t.Fatalf("beyond-top check differs: %s vs %s", serial.Final, par.Final)
 		}

@@ -28,7 +28,7 @@ func hardCase(t testing.TB) (*Verifier, circuit.NetID, waveform.Time) {
 	v := NewVerifier(c, opts)
 	pos := c.PrimaryOutputs()
 	po := pos[len(pos)-1]
-	return v, po, v.analysis.Arrival(po) - 60
+	return v, po, v.analysis.Arrival(po).Sub(60)
 }
 
 func TestRunDeadlineCancelsPromptly(t *testing.T) {
@@ -175,7 +175,7 @@ func TestRunAllParallelIdenticalToSerial(t *testing.T) {
 	}{
 		{"c17-refute", gen.C17(10), func(v *Verifier) waveform.Time { return 31 }},
 		{"c17-witness", gen.C17(10), func(v *Verifier) waveform.Time { return 30 }},
-		{"c880-refute", suiteCircuit(t, "c880"), func(v *Verifier) waveform.Time { return v.Topological() + 1 }},
+		{"c880-refute", suiteCircuit(t, "c880"), func(v *Verifier) waveform.Time { return v.Topological().Add(1) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -217,7 +217,7 @@ func TestNilTracerVsStatsTracerEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, delta := range []waveform.Time{res.Delay + 1, res.Delay} {
+		for _, delta := range []waveform.Time{res.Delay.Add(1), res.Delay} {
 			plain := v.RunAll(context.Background(), Request{Delta: delta, Workers: 1})
 			st := new(StatsTracer)
 			traced := v.RunAll(context.Background(), Request{Delta: delta, Workers: 1, Tracer: st})
@@ -252,7 +252,7 @@ func TestCircuitReportSumsWork(t *testing.T) {
 	c := suiteCircuit(t, "c432")
 	v := NewVerifier(c, Default())
 	for _, workers := range []int{1, 4} {
-		cr := v.RunAll(context.Background(), Request{Delta: v.Topological() + 1, Workers: workers})
+		cr := v.RunAll(context.Background(), Request{Delta: v.Topological().Add(1), Workers: workers})
 		var props int64
 		var doms, rounds int
 		for _, r := range cr.PerOutput {
@@ -356,7 +356,7 @@ func TestStatsTracerConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v.RunAll(context.Background(), Request{Delta: v.Topological() + 1, Workers: 4, Tracer: st})
+			v.RunAll(context.Background(), Request{Delta: v.Topological().Add(1), Workers: 4, Tracer: st})
 		}()
 	}
 	wg.Wait()

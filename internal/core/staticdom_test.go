@@ -43,7 +43,7 @@ func TestStaticDominatorsAloneRefuteChain(t *testing.T) {
 		t.Fatalf("reference: %v %+v", err, res)
 	}
 	withStatic := NewVerifier(c, Options{UseStaticDominators: true, MaxBacktracks: 1 << 20})
-	rep := withStatic.Check(cout, res.Delay+1)
+	rep := withStatic.Check(cout, res.Delay.Add(1))
 	if rep.Final != NoViolation {
 		t.Fatalf("static-dominator config must still refute exactly, got %s", rep.Final)
 	}

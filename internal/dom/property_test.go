@@ -67,7 +67,7 @@ func TestStaticDominatorsOnEveryLongPath(t *testing.T) {
 		if top <= 2 {
 			continue
 		}
-		for _, delta := range []waveform.Time{top, top - 1, top / 2} {
+		for _, delta := range []waveform.Time{top, top.Sub(1), top / 2} {
 			if delta <= 0 {
 				continue
 			}
@@ -132,7 +132,7 @@ func TestDynamicCarriersSubsetOfStatic(t *testing.T) {
 		if top <= 2 {
 			continue
 		}
-		delta := top - 1
+		delta := top.Sub(1)
 		sys := constraint.New(c)
 		sys.Narrow(sink, waveform.CheckOutput(delta))
 		sys.ScheduleAll()

@@ -25,7 +25,7 @@ func TestStemGadgetStages(t *testing.T) {
 	if exact >= 100 {
 		t.Fatalf("the full-length path must be false, exact = %s", exact)
 	}
-	rep := v.Check(z, exact+1)
+	rep := v.Check(z, exact.Add(1))
 	if rep.BeforeGITD != core.PossibleViolation {
 		t.Fatalf("plain narrowing must NOT refute (the branch disjunction hides the conflict), got %s", rep.BeforeGITD)
 	}

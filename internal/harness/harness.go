@@ -129,8 +129,8 @@ func CircuitRowsParallel(name string, c *circuit.Circuit, budget, workers int, e
 		return v.RunAll(context.Background(), r)
 	}
 	start := time.Now()
-	crHigh := checkAll(delta + 1)
-	rowHigh := mk(delta+1, crHigh)
+	crHigh := checkAll(delta.Add(1))
+	rowHigh := mk(delta.Add(1), crHigh)
 	rowHigh.CPU = time.Since(start)
 
 	start = time.Now()
@@ -303,7 +303,7 @@ func CarrySkip(bits, block int, budget int) *CarrySkipExperiment {
 	ex.Exact = res.Exact
 	ex.Witness = res.Witness
 
-	repHigh := v.Check(cout, res.Delay+1)
+	repHigh := v.Check(cout, res.Delay.Add(1))
 	ex.RefuteBacktracks = repHigh.Backtracks
 	switch {
 	case repHigh.BeforeGITD == core.NoViolation:
@@ -366,11 +366,11 @@ func Anecdote() *DominatorAnecdote {
 	// narrowing cannot, scanning down from the topological delay.
 	lo, hi := waveform.Time(0), an.Top
 	for lo < hi {
-		mid := lo + (hi-lo)/2
+		mid := waveform.Midpoint(lo, hi)
 		if withDom.VerifyOnly(deep, mid) == core.NoViolation {
 			hi = mid
 		} else {
-			lo = mid + 1
+			lo = mid.Add(1)
 		}
 	}
 	an.ProvedBound = lo
@@ -405,7 +405,7 @@ func RenderCarrySkip(w io.Writer, ex *CarrySkipExperiment) {
 	fmt.Fprintf(w, "Carry-skip adder %d bits (blocks of %d), %d gates\n", ex.Bits, ex.Block, ex.Gates)
 	fmt.Fprintf(w, "  topological delay %s, exact floating delay %s (exact=%v)\n", ex.Top, ex.Floating, ex.Exact)
 	fmt.Fprintf(w, "  δ=%s refuted by %s after %d backtracks (dominator chain length %d)\n",
-		ex.Floating+1, ex.RefuteStage, maxInt(ex.RefuteBacktracks, 0), ex.DominatorChainLength)
+		ex.Floating.Add(1), ex.RefuteStage, maxInt(ex.RefuteBacktracks, 0), ex.DominatorChainLength)
 	fmt.Fprintf(w, "  δ=%s witnessed after %d backtracks; vector %s\n",
 		ex.Floating, maxInt(ex.WitnessBacktracks, 0), ex.Witness)
 	fmt.Fprintf(w, "  CPU %.2fs\n", ex.CPU.Seconds())

@@ -162,7 +162,7 @@ func TestTable1SmallSubset(t *testing.T) {
 		t.Fatalf("got %d rows", len(rows))
 	}
 	for i := 0; i < len(rows); i += 2 {
-		if rows[i].Delta != rows[i+1].Delta+1 {
+		if rows[i].Delta != rows[i+1].Delta.Add(1) {
 			t.Fatalf("row pair deltas inconsistent: %s vs %s", rows[i].Delta, rows[i+1].Delta)
 		}
 		// The δ+1 row must be refuted somewhere; the δ row witnessed.

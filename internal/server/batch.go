@@ -320,8 +320,8 @@ func (b *batch) runTable1(ctx context.Context, v *core.Verifier, em *emitter) ([
 	}
 
 	start := time.Now()
-	crHigh := b.runSweepFirstWins(ctx, v, delta+1, em)
-	rowHigh := mk(delta+1, crHigh)
+	crHigh := b.runSweepFirstWins(ctx, v, delta.Add(1), em)
+	rowHigh := mk(delta.Add(1), crHigh)
 	rowHigh.CPUSeconds = time.Since(start).Seconds()
 
 	start = time.Now()

@@ -116,7 +116,7 @@ func TestE2EDifferentialSuite(t *testing.T) {
 				t.Fatalf("in-process delay search: %v", err)
 			}
 			wantSweeps := []server.SweepResult{}
-			for _, d := range []waveform.Time{res.Delay + 1, res.Delay} {
+			for _, d := range []waveform.Time{res.Delay.Add(1), res.Delay} {
 				cr := v.RunAll(context.Background(), core.Request{Delta: d, Workers: workers})
 				wantSweeps = append(wantSweeps, server.SweepFromReport(local, cr))
 			}

@@ -235,7 +235,7 @@ func TestRunMatchesXSim(t *testing.T) {
 		c := randomCircuit(t, seed, 4, 12)
 		horizon := waveform.Time(0)
 		for i := 0; i < c.NumGates(); i++ {
-			horizon += waveform.Time(c.Gate(circuit.GateID(i)).Delay)
+			horizon = horizon.Add(waveform.Time(c.Gate(circuit.GateID(i)).Delay))
 		}
 		for bits := 0; bits < 16; bits++ {
 			v := Vector{bits & 1, (bits >> 1) & 1, (bits >> 2) & 1, (bits >> 3) & 1}
@@ -243,7 +243,7 @@ func TestRunMatchesXSim(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			x, err := RunX(c, v, horizon+1)
+			x, err := RunX(c, v, horizon.Add(1))
 			if err != nil {
 				t.Fatal(err)
 			}

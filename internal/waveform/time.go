@@ -49,6 +49,17 @@ func (t Time) Add(d Time) Time {
 // Sub returns t−d with the same saturation rules as Add.
 func (t Time) Sub(d Time) Time { return t.Add(-d) }
 
+// Midpoint returns the floor midpoint lo+(hi-lo)/2 for binary
+// searches over delay bounds. Both bounds must be finite: a midpoint
+// of an unbounded interval is meaningless, so infinities saturate
+// through Add like every other operation.
+func Midpoint(lo, hi Time) Time { return lo.Add((hi - lo) / 2) }
+
+// MidpointCeil returns the ceiling midpoint lo+(hi-lo+1)/2, the
+// variant binary searches use when the loop keeps the lower bound on
+// a satisfied predicate. Both bounds must be finite.
+func MidpointCeil(lo, hi Time) Time { return lo.Add((hi - lo + 1) / 2) }
+
 // MinTime returns the smaller of a and b.
 func MinTime(a, b Time) Time {
 	if a < b {
