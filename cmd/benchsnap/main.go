@@ -1,0 +1,142 @@
+// Command benchsnap runs the repository's Benchmark* suite with
+// -benchmem, parses the standard `go test -bench` output, and writes a
+// machine-readable JSON snapshot — the committed performance baseline
+// (BENCH_<date>.json) that future sessions diff against.
+//
+// Usage:
+//
+//	benchsnap [-bench RE] [-benchtime T] [-count N] [-pkg P] [-out F]
+//
+// The default output name carries the date (BENCH_2006-01-02.json);
+// the JSON body itself is timestamp-free so regenerating a snapshot on
+// identical code and hardware is diffable field by field. Workflow:
+//
+//	go run ./cmd/benchsnap                       # full suite snapshot
+//	go run ./cmd/benchsnap -out BENCH_$(date +%F).json
+//	git diff --no-index BENCH_old.json BENCH_new.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the file schema ("ltta-bench/v1").
+type Snapshot struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"goVersion"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	CPUs      int     `json:"cpus"`
+	Package   string  `json:"package"`
+	Bench     string  `json:"bench"`
+	Benchtime string  `json:"benchtime"`
+	Count     int     `json:"count"`
+	Results   []Entry `json:"benchmarks"`
+}
+
+// Entry is one parsed benchmark line. With -count > 1 the same name
+// appears once per run, in output order.
+type Entry struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"` // GOMAXPROCS suffix from the raw line
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8  123  456 ns/op  789 B/op  12 allocs/op`
+// (the memory columns are present because we always pass -benchmem).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime (1x keeps snapshots fast; use e.g. 2s for stable timings)")
+	count := flag.Int("count", 1, "passed to go test -count")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", "", "output file (default BENCH_<date>.json in the current directory)")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-benchmem", *pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Schema:    "ltta-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Package:   *pkg,
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Count:     *count,
+		Results:   []Entry{},
+	}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: m[1]}
+		e.Procs, _ = strconv.Atoi(m[2])
+		e.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			e.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			e.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		snap.Results = append(snap.Results, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: no benchmarks matched %q in %s\n%s", *bench, *pkg, raw)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(snap)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: %d results -> %s\n", len(snap.Results), path)
+}

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want Entry
+	}{
+		{"BenchmarkRunNilTracer-8   	  214285	      5555 ns/op	    1600 B/op	      37 allocs/op",
+			Entry{Name: "BenchmarkRunNilTracer", Procs: 8, Iterations: 214285, NsPerOp: 5555, BytesPerOp: 1600, AllocsPerOp: 37}},
+		{"BenchmarkFixpointCarrySkip16 	 1000000	      1042 ns/op",
+			Entry{Name: "BenchmarkFixpointCarrySkip16", Iterations: 1000000, NsPerOp: 1042}},
+		{"BenchmarkTable1C6288-16     	       1	1234567890 ns/op	  500000 B/op	    9000 allocs/op",
+			Entry{Name: "BenchmarkTable1C6288", Procs: 16, Iterations: 1, NsPerOp: 1234567890, BytesPerOp: 500000, AllocsPerOp: 9000}},
+	}
+	for _, c := range cases {
+		m := benchLine.FindStringSubmatch(c.line)
+		if m == nil {
+			t.Errorf("no match: %q", c.line)
+			continue
+		}
+		got := Entry{Name: m[1]}
+		got.Procs = atoiOr0(m[2])
+		got.Iterations = int64(atoiOr0(m[3]))
+		if m[4] != "" {
+			got.NsPerOp = float64(atoiOr0(m[4]))
+		}
+		got.BytesPerOp = int64(atoiOr0(m[5]))
+		got.AllocsPerOp = int64(atoiOr0(m[6]))
+		if got != c.want {
+			t.Errorf("parsed %+v, want %+v (line %q)", got, c.want, c.line)
+		}
+	}
+	for _, miss := range []string{
+		"goos: linux", "PASS", "ok  	repro	1.2s",
+		"--- BENCH: BenchmarkX", "cpu: some cpu model",
+	} {
+		if benchLine.MatchString(miss) {
+			t.Errorf("non-benchmark line matched: %q", miss)
+		}
+	}
+}
+
+func atoiOr0(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	if s == "" {
+		return 0
+	}
+	return n
+}

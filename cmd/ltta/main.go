@@ -26,6 +26,11 @@
 //	              stem splits) as text; for a single-output -delta
 //	              check, also print the plain-fixpoint narrowing listing
 //	-trace-json   like -trace but one JSON object per event
+//	-trace-out F  record every check as a Chrome trace_event timeline
+//	              and write it to F — load in Perfetto (ui.perfetto.dev)
+//	              or chrome://tracing; parallel checks get worker lanes
+//	-hist         print latency/work distributions (p50/p90/p99 per
+//	              pipeline stage) after the run
 //	-workers N    fan whole-circuit checks over N workers (0 = all
 //	              CPUs); the aggregate verdict is identical to serial
 //	-debug-addr A serve /debug/vars (expvar engine counters) and
@@ -46,6 +51,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/delay"
+	"repro/internal/obs"
 	"repro/internal/sdf"
 	"repro/internal/verilog"
 	"repro/internal/waveform"
@@ -70,6 +76,8 @@ func main() {
 	sdfFile := flag.String("sdf", "", "back-annotate gate delays from an SDF file")
 	trace := flag.Bool("trace", false, "stream engine trace events as text (plus the plain-fixpoint narrowing listing on single-output -delta checks)")
 	traceJSON := flag.Bool("trace-json", false, "stream engine trace events as JSON")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event timeline (Perfetto-loadable) to this file")
+	hist := flag.Bool("hist", false, "print latency/work distributions (p50/p90/p99 per stage) after the run")
 	stats := flag.Bool("stats", false, "print aggregated engine telemetry after the run")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address during the run")
 	flag.Parse()
@@ -155,10 +163,20 @@ func main() {
 	// Assemble the request shared by every engine call: budgets,
 	// per-check deadline, tracer chain.
 	var statsTracer *core.StatsTracer
+	var histTracer *obs.Tracer
+	var spans *obs.SpanRecorder
 	var tracers []core.Tracer
 	if *stats {
 		statsTracer = new(core.StatsTracer)
 		tracers = append(tracers, statsTracer)
+	}
+	if *hist {
+		histTracer = obs.NewTracer()
+		tracers = append(tracers, histTracer)
+	}
+	if *traceOut != "" {
+		spans = obs.NewSpanRecorder(c)
+		tracers = append(tracers, spans)
 	}
 	switch {
 	case *traceJSON:
@@ -224,6 +242,24 @@ func main() {
 
 	if statsTracer != nil {
 		fmt.Printf("engine: %s\n", statsTracer)
+	}
+	if histTracer != nil {
+		histTracer.WriteSummary(os.Stdout)
+	}
+	if spans != nil {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := spans.WriteTrace(tf); err != nil {
+			tf.Close()
+			fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events written to %s (load in Perfetto or chrome://tracing)\n",
+			spans.Len(), *traceOut)
 	}
 }
 

@@ -17,15 +17,24 @@
 //   - SIGTERM/SIGINT drains gracefully: new submissions get 503,
 //     in-flight batches finish, and past -drain-timeout the remaining
 //     checks are cancelled (each still answers, with verdict C)
-//   - /healthz reports ok/draining; /metrics reports server counters,
-//     the engine's ltta.* expvars, and aggregated check telemetry
+//   - /healthz is pure liveness (always 200 while serving); /readyz is
+//     readiness (503 while starting or draining) — point load
+//     balancers at /readyz and restart-deciders at /healthz
+//   - /metrics is the Prometheus text exposition (server counters,
+//     per-stage latency histograms, runtime samples); /metrics.json
+//     keeps the structured counter document
+//   - logs are structured (log/slog): -log-format text|json and
+//     -log-level debug|info|warn|error; at debug every check logs its
+//     sink, δ, verdict, and duration under the batch id
+//   - -trace-dir DIR writes a Perfetto-loadable trace_event timeline
+//     per batch to DIR/batch-<id>.trace.json
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // register /debug/pprof on the default mux
 	"os"
@@ -33,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -46,8 +56,24 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "request body byte cap")
 	maxChecks := flag.Int("max-checks", 100000, "per-batch check-count cap")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
+	traceDir := flag.String("trace-dir", "", "write a trace_event timeline per batch to this directory")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lttad:", err)
+		os.Exit(2)
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "lttad:", err)
+			os.Exit(1)
+		}
+	}
+
+	ctx := context.Background()
 	s := server.New(server.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -55,24 +81,28 @@ func main() {
 		MaxChecks:    *maxChecks,
 		CheckTimeout: *checkTimeout,
 		BatchTimeout: *batchTimeout,
+		Logger:       logger,
+		TraceDir:     *traceDir,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 
 	if *debugAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				log.Printf("lttad: debug server: %v", err)
+				logger.LogAttrs(ctx, slog.LevelError, "debug server failed",
+					slog.String("error", err.Error()))
 			}
 		}()
-		log.Printf("lttad: debug server on %s (/debug/vars, /debug/pprof)", *debugAddr)
+		logger.LogAttrs(ctx, slog.LevelInfo, "debug server up", slog.String("addr", *debugAddr))
 	}
 
-	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("lttad: serving on %s (workers=%d, queue=%d)", *addr, *workers, *queue)
+	logger.LogAttrs(ctx, slog.LevelInfo, "serving",
+		slog.String("addr", *addr), slog.Int("workers", *workers), slog.Int("queue", *queue))
 
 	select {
 	case err := <-errc:
@@ -81,8 +111,8 @@ func main() {
 	case <-sigCtx.Done():
 	}
 
-	log.Printf("lttad: draining (deadline %s)", *drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	logger.LogAttrs(ctx, slog.LevelInfo, "draining", slog.Duration("deadline", *drainTimeout))
+	dctx, cancel := context.WithTimeout(ctx, *drainTimeout)
 	defer cancel()
 	// Reject new submissions at once, then drain the pool (cancelling
 	// leftover checks at the deadline) while the HTTP server closes the
@@ -92,10 +122,11 @@ func main() {
 	drained := make(chan error, 1)
 	go func() { drained <- s.Shutdown(dctx) }()
 	if err := httpSrv.Shutdown(dctx); err != nil {
-		log.Printf("lttad: http shutdown: %v", err)
+		logger.LogAttrs(ctx, slog.LevelWarn, "http shutdown", slog.String("error", err.Error()))
 	}
 	if err := <-drained; err != nil {
-		log.Printf("lttad: drain deadline hit, remaining checks cancelled: %v", err)
+		logger.LogAttrs(ctx, slog.LevelWarn, "drain deadline hit, remaining checks cancelled",
+			slog.String("error", err.Error()))
 	}
-	log.Printf("lttad: stopped")
+	logger.LogAttrs(ctx, slog.LevelInfo, "stopped")
 }

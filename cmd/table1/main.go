@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	table1 [-budget N] [-only circuit]
+//	table1 [-budget N] [-only circuit] [-hist]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit rows as JSON instead of the text table")
 	workers := flag.Int("parallel", 1, "fan per-output checks over N workers (verdicts unchanged)")
 	stats := flag.Bool("stats", false, "print aggregated engine telemetry after the table")
+	hist := flag.Bool("hist", false, "print latency/work distributions (p50/p90/p99 per stage) after the table")
 	pprofLabels := flag.Bool("pprof-labels", false, "tag parallel per-output checks with pprof labels")
 	noCone := flag.Bool("no-cone", false, "solve every check on the whole circuit instead of the sink's fan-in cone")
 	flag.Parse()
@@ -50,10 +52,15 @@ func main() {
 		fmt.Println()
 	}
 	var tracer *core.StatsTracer
+	var histTracer *obs.Tracer
 	var opts []harness.RowOption
 	if *stats {
 		tracer = new(core.StatsTracer)
 		opts = append(opts, harness.WithTracer(tracer))
+	}
+	if *hist {
+		histTracer = obs.NewTracer()
+		opts = append(opts, harness.WithTracer(histTracer))
 	}
 	if *pprofLabels {
 		opts = append(opts, harness.WithPprofLabels())
@@ -74,6 +81,9 @@ func main() {
 		if tracer != nil {
 			fmt.Fprintln(os.Stderr, "engine:", tracer)
 		}
+		if histTracer != nil {
+			histTracer.WriteSummary(os.Stderr)
+		}
 		return
 	}
 	harness.RenderTable1(os.Stdout, rows)
@@ -84,5 +94,9 @@ func main() {
 	if tracer != nil {
 		fmt.Println()
 		fmt.Println("engine:", tracer)
+	}
+	if histTracer != nil {
+		fmt.Println()
+		histTracer.WriteSummary(os.Stdout)
 	}
 }

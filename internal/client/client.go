@@ -135,10 +135,21 @@ func (c *Client) Stream(ctx context.Context, req server.Request, fn func(server.
 	return sc.Err()
 }
 
-// Healthz reads /healthz. A draining server answers 503 but still
-// carries the health body, which is returned alongside the APIError.
+// Healthz reads /healthz — pure liveness, 200 whenever the process
+// serves HTTP; the body's status field says ok/starting/draining.
 func (c *Client) Healthz(ctx context.Context) (*server.Health, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	return c.getHealth(ctx, "/healthz")
+}
+
+// Readyz reads /readyz — readiness. A starting or draining server
+// answers 503 but still carries the health body, which is returned
+// alongside the APIError.
+func (c *Client) Readyz(ctx context.Context) (*server.Health, error) {
+	return c.getHealth(ctx, "/readyz")
+}
+
+func (c *Client) getHealth(ctx context.Context, path string) (*server.Health, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -152,14 +163,21 @@ func (c *Client) Healthz(ctx context.Context) (*server.Health, error) {
 		return nil, fmt.Errorf("client: decoding health: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return &h, &APIError{Status: resp.StatusCode, Code: "unhealthy", Message: h.Status}
+		apiErr := &APIError{Status: resp.StatusCode, Code: "unhealthy", Message: h.Status}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return &h, apiErr
 	}
 	return &h, nil
 }
 
-// Metrics reads /metrics.
+// Metrics reads /metrics.json, the structured counter document. The
+// Prometheus text exposition lives at /metrics (see MetricsProm).
 func (c *Client) Metrics(ctx context.Context) (*server.Metrics, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics.json", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -176,4 +194,21 @@ func (c *Client) Metrics(ctx context.Context) (*server.Metrics, error) {
 		return nil, fmt.Errorf("client: decoding metrics: %w", err)
 	}
 	return &m, nil
+}
+
+// MetricsProm reads the raw Prometheus text exposition from /metrics.
+func (c *Client) MetricsProm(ctx context.Context) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
 }

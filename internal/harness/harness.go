@@ -63,9 +63,10 @@ type RowConfig struct {
 // CircuitRowsParallel (tracing, pprof labels, cone slicing, …).
 type RowOption func(*RowConfig)
 
-// WithTracer attaches a tracer to every check behind the rows.
+// WithTracer attaches a tracer to every check behind the rows;
+// repeated uses chain (every tracer sees every event).
 func WithTracer(t core.Tracer) RowOption {
-	return func(c *RowConfig) { c.Req.Tracer = t }
+	return func(c *RowConfig) { c.Req.Tracer = core.MultiTracer(c.Req.Tracer, t) }
 }
 
 // WithPprofLabels tags parallel per-output checks with pprof labels.

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the structured logger behind lttad's -log-format /
+// -log-level flags: format is "text" or "json", level one of debug,
+// info, warn, error. The json format is one object per line —
+// machine-shippable, the production default; text is the human dev
+// default.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (text, json)", format)
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for library embedders (tests, the in-process client) that did not
+// configure logging.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}

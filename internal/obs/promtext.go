@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample line.
+type PromSample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: its HELP/TYPE metadata and
+// every sample whose base name belongs to it (histogram _bucket/_sum/
+// _count samples attach to the histogram family).
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParseProm parses Prometheus text exposition (version 0.0.4) and
+// validates its structure:
+//
+//   - every non-empty line is a well-formed comment or sample
+//   - no metric name carries a duplicate HELP or TYPE line
+//   - samples follow their family's TYPE (a histogram family only
+//     emits _bucket/_sum/_count samples, and each series' cumulative
+//     bucket counts are non-decreasing with a final +Inf bucket equal
+//     to its _count)
+//
+// It exists for the CI scrape check and the exposition tests; it is
+// not a full OpenMetrics parser (no exemplars, no timestamps —
+// neither is emitted by this package, and a timestamp is reported as
+// an error so they cannot creep in unvalidated).
+func ParseProm(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var (
+		families []*PromFamily
+		byName   = map[string]*PromFamily{}
+		helpSeen = map[string]bool{}
+		typeSeen = map[string]bool{}
+		line     int
+	)
+	fam := func(name string) *PromFamily {
+		if f := byName[name]; f != nil {
+			return f
+		}
+		f := &PromFamily{Name: name}
+		families = append(families, f)
+		byName[name] = f
+		return f
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			kind, name, rest, err := parsePromComment(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			if kind == "" {
+				continue // free-form comment
+			}
+			switch kind {
+			case "HELP":
+				if helpSeen[name] {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %q", line, name)
+				}
+				helpSeen[name] = true
+				fam(name).Help = rest
+			case "TYPE":
+				if typeSeen[name] {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %q", line, rest, name)
+				}
+				typeSeen[name] = true
+				fam(name).Type = rest
+			}
+			continue
+		}
+		s, err := parsePromSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		base := s.Name
+		if f := byName[base]; f == nil {
+			// Histogram child samples attach to their parent family.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if p, ok := strings.CutSuffix(base, suffix); ok && byName[p] != nil && byName[p].Type == "histogram" {
+					base = p
+					break
+				}
+			}
+		}
+		if byName[base] == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding TYPE", line, s.Name)
+		}
+		f := byName[base]
+		if f.Type == "histogram" && s.Name == f.Name {
+			return nil, fmt.Errorf("line %d: bare sample %q on histogram family", line, s.Name)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]PromFamily, len(families))
+	for i, f := range families {
+		if err := validateFamily(f); err != nil {
+			return nil, err
+		}
+		out[i] = *f
+	}
+	return out, nil
+}
+
+// ValidateProm parses and validates, returning only the verdict.
+func ValidateProm(r io.Reader) error {
+	_, err := ParseProm(r)
+	return err
+}
+
+func parsePromComment(text string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return "", "", "", nil // "#..." free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return "", "", "", fmt.Errorf("malformed HELP line %q", text)
+		}
+		if len(fields) == 4 {
+			rest = fields[3]
+		}
+		return "HELP", fields[2], rest, nil
+	case "TYPE":
+		if len(fields) != 4 || !validMetricName(fields[2]) {
+			return "", "", "", fmt.Errorf("malformed TYPE line %q", text)
+		}
+		return "TYPE", fields[2], fields[3], nil
+	}
+	return "", "", "", nil
+}
+
+func parsePromSample(text string) (PromSample, error) {
+	s := PromSample{Labels: Labels{}}
+	rest := text
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexAny(rest, " \t")
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.Name = rest[:brace]
+		end, labels, err := parsePromLabels(rest[brace:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimLeft(rest[brace+end:], " \t")
+	} else {
+		if sp < 0 {
+			return s, fmt.Errorf("sample %q has no value", text)
+		}
+		s.Name = rest[:sp]
+		rest = strings.TrimLeft(rest[sp:], " \t")
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	valueFields := strings.Fields(rest)
+	if len(valueFields) == 0 {
+		return s, fmt.Errorf("sample %q has no value", text)
+	}
+	if len(valueFields) > 1 {
+		return s, fmt.Errorf("sample %q carries a timestamp or trailing garbage", text)
+	}
+	v, err := strconv.ParseFloat(valueFields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %v", text, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parsePromLabels parses a "{k=\"v\",...}" block starting at text[0],
+// returning the index just past the closing brace.
+func parsePromLabels(text string) (int, Labels, error) {
+	labels := Labels{}
+	i := 1 // past '{'
+	for {
+		for i < len(text) && (text[i] == ' ' || text[i] == ',') {
+			i++
+		}
+		if i < len(text) && text[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block %q", text)
+		}
+		key := text[i : i+eq]
+		if !validMetricName(key) {
+			return 0, nil, fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, nil, fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := text[i]
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, nil, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("bad escape %q in label %q", text[i:i+2], key)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[key]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val.String()
+	}
+}
+
+// validateFamily checks per-family invariants, most importantly the
+// histogram series discipline.
+func validateFamily(f *PromFamily) error {
+	if f.Type == "" {
+		return fmt.Errorf("family %q has HELP but no TYPE", f.Name)
+	}
+	if f.Type != "histogram" {
+		return nil
+	}
+	// Group bucket samples per series (labels minus le).
+	type hseries struct {
+		buckets []PromSample
+		sum     *PromSample
+		count   *PromSample
+	}
+	groups := map[string]*hseries{}
+	var order []string
+	key := func(l Labels) string {
+		cp := make(Labels, len(l))
+		for k, v := range l {
+			if k != "le" {
+				cp[k] = v
+			}
+		}
+		return cp.render()
+	}
+	get := func(k string) *hseries {
+		if g := groups[k]; g != nil {
+			return g
+		}
+		g := &hseries{}
+		groups[k] = g
+		order = append(order, k)
+		return g
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		g := get(key(s.Labels))
+		switch s.Name {
+		case f.Name + "_bucket":
+			g.buckets = append(g.buckets, s)
+		case f.Name + "_sum":
+			g.sum = &f.Samples[i]
+		case f.Name + "_count":
+			g.count = &f.Samples[i]
+		default:
+			return fmt.Errorf("histogram %q has stray sample %q", f.Name, s.Name)
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		if len(g.buckets) == 0 || g.sum == nil || g.count == nil {
+			return fmt.Errorf("histogram %q series %s missing _bucket/_sum/_count", f.Name, k)
+		}
+		type bb struct {
+			le  float64
+			val float64
+		}
+		var bs []bb
+		for _, b := range g.buckets {
+			leStr, ok := b.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %q bucket without le label", f.Name)
+			}
+			le, err := parseLE(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram %q: %v", f.Name, err)
+			}
+			bs = append(bs, bb{le, b.Value})
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].le == bs[i-1].le {
+				return fmt.Errorf("histogram %q series %s: duplicate le %v", f.Name, k, bs[i].le)
+			}
+			if bs[i].val < bs[i-1].val {
+				return fmt.Errorf("histogram %q series %s: bucket counts not cumulative at le=%v",
+					f.Name, k, bs[i].le)
+			}
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("histogram %q series %s: no +Inf bucket", f.Name, k)
+		}
+		if last.val != g.count.Value {
+			return fmt.Errorf("histogram %q series %s: +Inf bucket %v != _count %v",
+				f.Name, k, last.val, g.count.Value)
+		}
+	}
+	return nil
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q: %v", s, err)
+	}
+	return v, nil
+}

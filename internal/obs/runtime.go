@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSamples are the runtime/metrics series exported on every
+// scrape: scheduler pressure, heap footprint, and GC activity — the
+// three signals that tell a capacity planner whether lttad is CPU-,
+// memory-, or GC-bound. The list is fixed and ordered so the
+// exposition is deterministic.
+var runtimeSamples = []struct {
+	src  string // runtime/metrics name
+	name string // exposition name
+	typ  string // counter or gauge (histograms handled separately)
+	help string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "gauge",
+		"Number of live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "gauge",
+		"Bytes occupied by live and not-yet-swept heap objects."},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "gauge",
+		"All memory mapped by the Go runtime."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "counter",
+		"Completed GC cycles since program start."},
+}
+
+const gcPauseSrc = "/gc/pauses:seconds"
+
+// WriteRuntimeProm samples the runtime/metrics series above plus the
+// GC stop-the-world pause histogram and renders them in exposition
+// format. Meant to be appended to a Registry.WritePrometheus scrape.
+func WriteRuntimeProm(w io.Writer) {
+	samples := make([]metrics.Sample, 0, len(runtimeSamples)+1)
+	for _, rs := range runtimeSamples {
+		samples = append(samples, metrics.Sample{Name: rs.src})
+	}
+	samples = append(samples, metrics.Sample{Name: gcPauseSrc})
+	metrics.Read(samples)
+
+	for i, rs := range runtimeSamples {
+		v, ok := sampleValue(samples[i])
+		if !ok {
+			continue // metric unknown to this runtime: skip, don't lie
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			rs.name, rs.help, rs.name, rs.typ, rs.name, formatFloat(v))
+	}
+	if h := samples[len(samples)-1]; h.Value.Kind() == metrics.KindFloat64Histogram {
+		writeRuntimeHistogram(w, "go_gc_pause_seconds",
+			"Distribution of GC stop-the-world pause latencies (runtime/metrics "+gcPauseSrc+").",
+			h.Value.Float64Histogram())
+	}
+}
+
+func sampleValue(s metrics.Sample) (float64, bool) {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64()), true
+	case metrics.KindFloat64:
+		return s.Value.Float64(), true
+	}
+	return 0, false
+}
+
+// writeRuntimeHistogram renders a runtime/metrics Float64Histogram as
+// a Prometheus histogram. Buckets holds n+1 boundaries for n counts;
+// each count i covers [Buckets[i], Buckets[i+1]). The _sum is
+// approximated from bucket midpoints (the runtime does not track an
+// exact sum); infinite edge boundaries borrow the finite neighbour.
+func writeRuntimeHistogram(w io.Writer, name, help string, h *metrics.Float64Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	var sum float64
+	for i, c := range h.Counts {
+		cum += c
+		le := h.Buckets[i+1]
+		lo := h.Buckets[i]
+		if math.IsInf(lo, -1) {
+			lo = 0
+		}
+		mid := lo
+		if !math.IsInf(le, 1) {
+			mid = (lo + le) / 2
+		}
+		sum += float64(c) * mid
+		leStr := "+Inf"
+		if !math.IsInf(le, 1) {
+			leStr = formatFloat(le)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, leStr, cum)
+	}
+	if len(h.Counts) == 0 || !math.IsInf(h.Buckets[len(h.Buckets)-1], 1) {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(sum), name, cum)
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/waveform"
+)
+
+// TraceEvent is one Chrome trace_event record — the JSON schema
+// Perfetto and chrome://tracing load directly. Ph "B"/"E" bracket a
+// span, "M" carries metadata (thread names).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since recorder start
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the containing JSON object trace viewers expect.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// SpanRecorder turns the pipeline's tracer callbacks into a Chrome
+// trace_event timeline: one span per check, nested spans per pipeline
+// stage. Checks running concurrently (parallel RunAll, the lttad
+// pool) are assigned distinct lanes — rendered as threads — so the
+// parallel sweep's overlap is visible instead of interleaved garbage.
+//
+// Lane assignment keys on the calling goroutine: every core.Tracer
+// callback of one check fires on the goroutine running that check, so
+// the goroutine id is a reliable check identity between CheckStart
+// and CheckDone without any cooperation from the engine. Lanes are
+// recycled smallest-first when checks finish, keeping the timeline
+// compact (#lanes == peak concurrency, not #checks).
+//
+// All state is guarded by one mutex; span recording is an opt-in
+// diagnostic mode, and the lock also makes timestamps globally
+// monotonic, which the trace format wants per lane.
+type SpanRecorder struct {
+	c *circuit.Circuit // optional: names sinks in span titles
+
+	mu     sync.Mutex
+	start  time.Time
+	events []TraceEvent
+	active map[uint64]int // goroutine id → lane
+	free   []int          // recycled lanes (min-heap by sort)
+	lanes  int            // lanes ever created
+}
+
+// NewSpanRecorder returns an empty recorder. The circuit is optional;
+// when non-nil, check spans are titled with net names.
+func NewSpanRecorder(c *circuit.Circuit) *SpanRecorder {
+	return &SpanRecorder{c: c, start: time.Now(), active: map[uint64]int{}}
+}
+
+var _ core.Tracer = (*SpanRecorder)(nil)
+
+// gid parses the current goroutine's id from its stack header
+// ("goroutine 123 [running]:"). ~1µs — irrelevant next to the checks
+// being traced, and only paid in span-recording mode.
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	const prefix = "goroutine "
+	if !bytes.HasPrefix(s, []byte(prefix)) {
+		return 0
+	}
+	s = s[len(prefix):]
+	var id uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// now returns microseconds since recorder start; callers hold mu, so
+// successive events carry non-decreasing timestamps.
+func (r *SpanRecorder) now() float64 {
+	return float64(time.Since(r.start).Nanoseconds()) / 1e3
+}
+
+func (r *SpanRecorder) netName(n circuit.NetID) string {
+	if r.c != nil && n != circuit.InvalidNet {
+		return r.c.Net(n).Name
+	}
+	return "net" + strconv.Itoa(int(n))
+}
+
+func (r *SpanRecorder) CheckStart(sink circuit.NetID, delta waveform.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lane := r.allocLane()
+	r.active[gid()] = lane
+	r.events = append(r.events, TraceEvent{
+		Name: "check " + r.netName(sink), Ph: "B", Ts: r.now(), Pid: 1, Tid: lane,
+		Args: map[string]any{"sink": r.netName(sink), "delta": int64(delta)},
+	})
+}
+
+// allocLane hands out the smallest recycled lane, or a fresh one. On
+// first use of a lane a metadata event names it for the viewer.
+func (r *SpanRecorder) allocLane() int {
+	if n := len(r.free); n > 0 {
+		sort.Ints(r.free)
+		lane := r.free[0]
+		r.free = r.free[1:]
+		return lane
+	}
+	r.lanes++
+	lane := r.lanes
+	r.events = append(r.events, TraceEvent{
+		Name: "thread_name", Ph: "M", Ts: 0, Pid: 1, Tid: lane,
+		Args: map[string]any{"name": fmt.Sprintf("worker lane %d", lane)},
+	})
+	return lane
+}
+
+func (r *SpanRecorder) lane() (int, bool) {
+	lane, ok := r.active[gid()]
+	return lane, ok
+}
+
+func (r *SpanRecorder) StageEnter(stage core.Stage) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lane, ok := r.lane()
+	if !ok {
+		return // defensive: stage event outside a check
+	}
+	r.events = append(r.events, TraceEvent{
+		Name: stage.String(), Ph: "B", Ts: r.now(), Pid: 1, Tid: lane,
+	})
+}
+
+func (r *SpanRecorder) StageExit(stage core.Stage, verdict core.Result, _ time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lane, ok := r.lane()
+	if !ok {
+		return
+	}
+	r.events = append(r.events, TraceEvent{
+		Name: stage.String(), Ph: "E", Ts: r.now(), Pid: 1, Tid: lane,
+		Args: map[string]any{"verdict": verdict.String()},
+	})
+}
+
+func (r *SpanRecorder) DominatorRound(int, int, bool)    {}
+func (r *SpanRecorder) Decision(int, circuit.NetID, int) {}
+func (r *SpanRecorder) Backtrack(int)                    {}
+func (r *SpanRecorder) StemSplit(int, circuit.NetID)     {}
+
+func (r *SpanRecorder) CheckDone(rep *core.Report) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := gid()
+	lane, ok := r.active[g]
+	if !ok {
+		return
+	}
+	delete(r.active, g)
+	r.free = append(r.free, lane)
+	r.events = append(r.events, TraceEvent{
+		Name: "check " + r.netName(rep.Sink), Ph: "E", Ts: r.now(), Pid: 1, Tid: lane,
+		Args: map[string]any{
+			"final":        rep.Final.String(),
+			"propagations": rep.Propagations,
+			"backtracks":   rep.Backtracks,
+		},
+	})
+}
+
+// Len reports the number of recorded events.
+func (r *SpanRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteTrace renders the recorded timeline as trace_event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (r *SpanRecorder) WriteTrace(w io.Writer) error {
+	r.mu.Lock()
+	events := make([]TraceEvent, len(r.events))
+	copy(events, r.events)
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ValidateTrace parses trace_event JSON and checks the span
+// discipline this package promises: per lane, timestamps are
+// non-decreasing and B/E events nest properly with matching names
+// (every stage span closed inside its check span). Returns the event
+// count for smoke assertions.
+func ValidateTrace(rd io.Reader) (int, error) {
+	var tf traceFile
+	if err := json.NewDecoder(rd).Decode(&tf); err != nil {
+		return 0, fmt.Errorf("obs: trace JSON: %w", err)
+	}
+	type laneState struct {
+		ts    float64
+		stack []string
+	}
+	lanes := map[int]*laneState{}
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		ls := lanes[ev.Tid]
+		if ls == nil {
+			ls = &laneState{}
+			lanes[ev.Tid] = ls
+		}
+		if ev.Ts < ls.ts {
+			return 0, fmt.Errorf("obs: trace event %d: ts %.3f before %.3f on lane %d",
+				i, ev.Ts, ls.ts, ev.Tid)
+		}
+		ls.ts = ev.Ts
+		switch ev.Ph {
+		case "B":
+			ls.stack = append(ls.stack, ev.Name)
+		case "E":
+			if len(ls.stack) == 0 {
+				return 0, fmt.Errorf("obs: trace event %d: E %q on empty lane %d", i, ev.Name, ev.Tid)
+			}
+			top := ls.stack[len(ls.stack)-1]
+			if top != ev.Name {
+				return 0, fmt.Errorf("obs: trace event %d: E %q does not close B %q on lane %d",
+					i, ev.Name, top, ev.Tid)
+			}
+			ls.stack = ls.stack[:len(ls.stack)-1]
+		default:
+			return 0, fmt.Errorf("obs: trace event %d: unknown phase %q", i, ev.Ph)
+		}
+	}
+	for tid, ls := range lanes {
+		if len(ls.stack) > 0 {
+			return 0, fmt.Errorf("obs: lane %d left %d spans open (%v)", tid, len(ls.stack), ls.stack)
+		}
+	}
+	return len(tf.TraceEvents), nil
+}

@@ -1,0 +1,107 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// TestSpanRecorderRoundTrip records a parallel sweep and checks the
+// emitted trace_event JSON passes the package's own validator: per
+// lane, timestamps monotone and every B closed by a matching E — the
+// property Perfetto needs to render nested check/stage spans.
+func TestSpanRecorderRoundTrip(t *testing.T) {
+	c := gen.Industrial(3, 16, 10)
+	v := core.NewVerifier(c, core.Default())
+	rec := obs.NewSpanRecorder(c)
+	cr := v.RunAll(context.Background(), core.Request{
+		Delta: v.Topological().Add(1), Workers: 4, Tracer: rec,
+	})
+
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("recorded trace does not validate: %v", err)
+	}
+	if n != rec.Len() {
+		t.Fatalf("validator saw %d events, recorder holds %d", n, rec.Len())
+	}
+	// Every check contributes a B/E pair plus at least the fixpoint
+	// stage's B/E pair.
+	if min := 4 * len(cr.PerOutput); n < min {
+		t.Fatalf("only %d events for %d checks, want >= %d", n, len(cr.PerOutput), min)
+	}
+	text := buf.String()
+	for _, want := range []string{`"displayTimeUnit":"ms"`, `"ph":"M"`, "worker lane 1", `"name":"fixpoint"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace JSON missing %q", want)
+		}
+	}
+}
+
+// TestSpanRecorderLaneRecycling runs a serial sweep — at most one
+// check in flight — and expects the recorder to reuse a single lane
+// rather than opening one per check.
+func TestSpanRecorderLaneRecycling(t *testing.T) {
+	c := gen.CarrySkipAdder(8, 4, 10)
+	v := core.NewVerifier(c, core.Default())
+	rec := obs.NewSpanRecorder(c)
+	v.RunAll(context.Background(), core.Request{
+		Delta: v.Topological().Add(1), Workers: 1, Tracer: rec,
+	})
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "worker lane 1") {
+		t.Fatal("no lane metadata recorded")
+	}
+	if strings.Contains(text, "worker lane 2") {
+		t.Fatal("serial sweep opened a second lane; recycling is broken")
+	}
+	if _, err := obs.ValidateTrace(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"ts regression": `{"traceEvents":[
+			{"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+			{"name":"a","ph":"E","ts":3,"pid":1,"tid":1}]}`,
+		"mismatched close": `{"traceEvents":[
+			{"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+			{"name":"b","ph":"E","ts":2,"pid":1,"tid":1}]}`,
+		"close on empty lane": `{"traceEvents":[
+			{"name":"a","ph":"E","ts":1,"pid":1,"tid":1}]}`,
+		"unclosed span": `{"traceEvents":[
+			{"name":"a","ph":"B","ts":1,"pid":1,"tid":1}]}`,
+		"unknown phase": `{"traceEvents":[
+			{"name":"a","ph":"X","ts":1,"pid":1,"tid":1}]}`,
+		"not JSON": `]`,
+	}
+	for name, text := range cases {
+		if _, err := obs.ValidateTrace(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected validation error on %s", name, text)
+		}
+	}
+	// Lanes are independent: interleaved timestamps across lanes are
+	// fine as long as each lane is monotone.
+	ok := `{"traceEvents":[
+		{"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+		{"name":"b","ph":"B","ts":1,"pid":1,"tid":2},
+		{"name":"b","ph":"E","ts":2,"pid":1,"tid":2},
+		{"name":"a","ph":"E","ts":9,"pid":1,"tid":1}]}`
+	if n, err := obs.ValidateTrace(strings.NewReader(ok)); err != nil || n != 4 {
+		t.Fatalf("cross-lane interleaving should validate, got n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,142 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// TestTracerSharedAcrossWorkers drives ONE obs.Tracer through a
+// parallel RunAll (run with -race in CI): the merged histogram counts
+// must equal the serial sweep's check count — every check observed
+// exactly once, no event lost or double-counted under concurrency.
+func TestTracerSharedAcrossWorkers(t *testing.T) {
+	c := gen.Industrial(7, 24, 10)
+	v := core.NewVerifier(c, core.Default())
+	// δ = topological + 1: every output refutes, so neither sweep
+	// early-exits and serial/parallel run identical check sets.
+	delta := v.Topological().Add(1)
+
+	serial := v.RunAll(context.Background(), core.Request{Delta: delta, Workers: 1})
+	wantChecks := int64(len(serial.PerOutput))
+	if wantChecks < 2 {
+		t.Fatalf("industrial circuit has %d outputs; want a real sweep", wantChecks)
+	}
+
+	tr := obs.NewTracer()
+	par := v.RunAll(context.Background(), core.Request{Delta: delta, Workers: 4, Tracer: tr})
+	if par.Final != serial.Final {
+		t.Fatalf("parallel verdict %s != serial %s", par.Final, serial.Final)
+	}
+
+	if got := tr.Checks(); got != wantChecks {
+		t.Fatalf("tracer observed %d checks, serial sweep ran %d", got, wantChecks)
+	}
+	s := tr.Snapshot()
+	if got := s.TotalChecks(); got != wantChecks {
+		t.Fatalf("snapshot counts %d checks, want %d", got, wantChecks)
+	}
+	for _, h := range []obs.HistSnapshot{s.CheckSeconds, s.Propagations, s.QueueHighWater} {
+		if h.Count != uint64(wantChecks) {
+			t.Fatalf("histogram observed %d checks, want %d", h.Count, wantChecks)
+		}
+	}
+	// Stage histogram totals must cover exactly the stages the serial
+	// sweep ran: every check runs the plain fixpoint once.
+	if got := s.StageSeconds[core.StagePlain].Count; got != uint64(wantChecks) {
+		t.Fatalf("fixpoint stage observed %d runs, want %d", got, wantChecks)
+	}
+	// Aggregate work must match the serial sweep's exact counters.
+	var wantProps int64
+	for _, rep := range serial.PerOutput {
+		wantProps += rep.Propagations
+	}
+	if s.Propagations.Sum != wantProps {
+		t.Fatalf("propagation histogram sum %d, serial sweep did %d", s.Propagations.Sum, wantProps)
+	}
+}
+
+// TestTracerShardMerge aggregates two shard tracers — the
+// one-tracer-per-worker deployment style — and checks the merged
+// snapshot equals a single shared tracer's view.
+func TestTracerShardMerge(t *testing.T) {
+	c := gen.CarrySkipAdder(16, 4, 10)
+	v := core.NewVerifier(c, core.Default())
+	delta := v.Topological().Add(1)
+
+	shard1, shard2 := obs.NewTracer(), obs.NewTracer()
+	v.RunAll(context.Background(), core.Request{Delta: delta, Workers: 2, Tracer: shard1})
+	v.RunAll(context.Background(), core.Request{Delta: delta, Workers: 2, Tracer: shard2})
+
+	merged := shard1.Snapshot()
+	if err := merged.Merge(shard2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if want := shard1.Checks() + shard2.Checks(); merged.TotalChecks() != want {
+		t.Fatalf("merged %d checks, want %d", merged.TotalChecks(), want)
+	}
+	if merged.CheckSeconds.Count != uint64(merged.TotalChecks()) {
+		t.Fatalf("latency histogram %d observations for %d checks",
+			merged.CheckSeconds.Count, merged.TotalChecks())
+	}
+}
+
+// TestTracerExposition registers a tracer and checks the rendered
+// exposition validates with one histogram per pipeline stage.
+func TestTracerExposition(t *testing.T) {
+	c := gen.C17(10)
+	v := core.NewVerifier(c, core.Default())
+	tr := obs.NewTracer()
+	v.RunAll(context.Background(), core.Request{Delta: v.Topological().Add(1), Tracer: tr})
+
+	reg := obs.NewRegistry()
+	tr.MustRegister(reg, "ltta")
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	fams, err := obs.ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("tracer exposition invalid: %v\n%s", err, buf.String())
+	}
+	var stageFam *obs.PromFamily
+	for i := range fams {
+		if fams[i].Name == "ltta_stage_duration_seconds" {
+			stageFam = &fams[i]
+		}
+	}
+	if stageFam == nil || stageFam.Type != "histogram" {
+		t.Fatalf("no ltta_stage_duration_seconds histogram family:\n%s", buf.String())
+	}
+	stages := map[string]bool{}
+	for _, s := range stageFam.Samples {
+		stages[s.Labels["stage"]] = true
+	}
+	for st := core.Stage(0); st < core.NumStages; st++ {
+		if !stages[st.String()] {
+			t.Errorf("stage %s has no histogram series", st)
+		}
+	}
+	if !strings.Contains(buf.String(), `ltta_checks_total{verdict="no_violation"}`) {
+		t.Errorf("exposition missing per-verdict check counters:\n%s", buf.String())
+	}
+}
+
+// TestTracerSummary smoke-tests the human-readable percentile dump.
+func TestTracerSummary(t *testing.T) {
+	c := gen.C17(10)
+	v := core.NewVerifier(c, core.Default())
+	tr := obs.NewTracer()
+	v.RunAll(context.Background(), core.Request{Delta: v.Topological().Add(1), Tracer: tr})
+	var buf bytes.Buffer
+	tr.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"stage fixpoint", "check latency", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

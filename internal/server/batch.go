@@ -3,12 +3,17 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/waveform"
 )
 
@@ -23,6 +28,10 @@ type batch struct {
 	checks  []resolvedCheck
 	opts    core.Options
 	budgets core.Budgets
+
+	id  int64
+	log *slog.Logger      // request-scoped: carries the batch id
+	rec *obs.SpanRecorder // per-batch timeline when Config.TraceDir is set
 
 	checkTimeout time.Duration
 
@@ -85,7 +94,57 @@ func (b *batch) run(ctx context.Context, em *emitter) *Response {
 		}
 	}
 	resp.Done = DoneInfo{ChecksRun: b.checksRun, ElapsedUs: time.Since(start).Microseconds()}
+	b.log.LogAttrs(ctx, slog.LevelInfo, "batch done",
+		slog.String("circuit", b.c.Name), slog.Int("checks", b.checksRun),
+		slog.Duration("elapsed", time.Since(start)))
+	b.writeTrace(ctx)
 	return resp
+}
+
+// writeTrace dumps the batch's span timeline to
+// TraceDir/batch-<id>.trace.json when span recording is on.
+func (b *batch) writeTrace(ctx context.Context) {
+	if b.rec == nil {
+		return
+	}
+	path := filepath.Join(b.srv.cfg.TraceDir, "batch-"+strconv.FormatInt(b.id, 10)+".trace.json")
+	f, err := os.Create(path)
+	if err == nil {
+		err = b.rec.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		b.log.LogAttrs(ctx, slog.LevelWarn, "trace write failed",
+			slog.String("path", path), slog.String("error", err.Error()))
+		return
+	}
+	b.log.LogAttrs(ctx, slog.LevelInfo, "trace written",
+		slog.String("path", path), slog.Int("events", b.rec.Len()))
+}
+
+// runOne executes one check on the server pool and logs its outcome
+// with the batch-scoped logger (panics at Error, results at Debug).
+func (b *batch) runOne(ctx context.Context, v *core.Verifier, req core.Request) (*core.Report, string) {
+	if b.rec != nil {
+		req.Tracer = b.rec
+	}
+	start := time.Now()
+	rep, panicMsg := b.srv.runOne(ctx, v, req)
+	lvl := slog.LevelDebug
+	attrs := []slog.Attr{
+		slog.String("sink", b.c.Net(rep.Sink).Name),
+		slog.Int64("delta", int64(rep.Delta)),
+		slog.String("verdict", rep.Final.String()),
+		slog.Duration("elapsed", time.Since(start)),
+	}
+	if panicMsg != "" {
+		lvl = slog.LevelError
+		attrs = append(attrs, slog.String("panic", panicMsg))
+	}
+	b.log.LogAttrs(ctx, lvl, "check", attrs...)
+	return rep, panicMsg
 }
 
 // baseRequest builds the core request template shared by the batch's
@@ -117,7 +176,7 @@ func (b *batch) runChecks(ctx context.Context, v *core.Verifier, em *emitter) []
 		wg.Add(1)
 		run := func() {
 			defer wg.Done()
-			rep, panicMsg := b.srv.runOne(ctx, v, b.withDeadline(req))
+			rep, panicMsg := b.runOne(ctx, v, b.withDeadline(req))
 			res := ResultFromReport(b.c, i, rep)
 			res.Error = panicMsg
 			results[i] = res
@@ -168,7 +227,7 @@ func (b *batch) runSweep(ctx context.Context, v *core.Verifier, delta waveform.T
 		wg.Add(1)
 		run := func() {
 			defer wg.Done()
-			rep, panicMsg := b.srv.runOne(ctx, v, b.withDeadline(req))
+			rep, panicMsg := b.runOne(ctx, v, b.withDeadline(req))
 			reports[i] = rep
 			res := ResultFromReport(b.c, i, rep)
 			res.Error = panicMsg
@@ -218,7 +277,7 @@ func (b *batch) runSweepFirstWins(ctx context.Context, v *core.Verifier, delta w
 			mu.Unlock()
 			defer cancel()
 
-			rep, panicMsg := b.srv.runOne(cctx, v, b.withDeadline(req))
+			rep, panicMsg := b.runOne(cctx, v, b.withDeadline(req))
 			mu.Lock()
 			cancels[i] = nil
 			reports[i] = rep

@@ -115,8 +115,13 @@ func TestDrainMidFlight(t *testing.T) {
 	if !apiErr.Temporary() || apiErr.RetryAfter <= 0 {
 		t.Fatalf("draining rejection must carry a Retry-After hint: %+v", apiErr)
 	}
-	if _, err := cl.Healthz(context.Background()); err == nil {
-		t.Fatal("healthz must report draining")
+	if _, err := cl.Readyz(context.Background()); err == nil {
+		t.Fatal("readyz must report draining")
+	}
+	// Liveness is orthogonal: the process is up (and answering the
+	// drain 503s above), so /healthz stays 200 while /readyz is 503.
+	if h, err := cl.Healthz(context.Background()); err != nil || h.Status != "draining" {
+		t.Fatalf("healthz during drain: want 200 with status draining, got %+v, %v", h, err)
 	}
 
 	// The in-flight batch must have finished cleanly: stream complete,

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -14,6 +15,8 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // Config sizes the service. The zero value of every field selects a
@@ -40,6 +43,11 @@ type Config struct {
 	// RetryAfter is the Retry-After hint on 429/503 responses
 	// (default 1s).
 	RetryAfter time.Duration
+	// Logger receives the server's structured logs (default: discard).
+	Logger *slog.Logger
+	// TraceDir, when non-empty, writes a Chrome trace_event timeline
+	// per batch to TraceDir/batch-<id>.trace.json (Perfetto-loadable).
+	TraceDir string
 }
 
 func (cfg Config) withDefaults() Config {
@@ -57,6 +65,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
 	}
 	return cfg
 }
@@ -81,13 +92,20 @@ type Server struct {
 	slots    chan struct{} // admission tokens, cap QueueDepth
 	inflight sync.WaitGroup
 	draining atomic.Bool
+	ready    atomic.Bool // flips once the warm-up Prepare canary completes
 
 	baseCtx    context.Context // cancelled at the drain deadline
 	baseCancel context.CancelFunc
 
 	shutdownOnce sync.Once
 
-	agg core.StatsTracer // engine telemetry across all served checks
+	log      *slog.Logger
+	batchSeq atomic.Int64 // batch ids for request-scoped log attrs
+
+	agg    core.StatsTracer // engine telemetry across all served checks
+	eng    *obs.Tracer      // histogram telemetry behind /metrics
+	reg    *obs.Registry    // the Prometheus exposition
+	tracer core.Tracer      // agg+eng chain stamped on every check
 
 	// counters behind /metrics
 	accepted      atomic.Int64
@@ -109,14 +127,65 @@ func New(cfg Config) *Server {
 		slots: make(chan struct{}, cfg.QueueDepth),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.log = cfg.Logger
+	s.eng = obs.NewTracer()
+	s.tracer = core.MultiTracer(&s.agg, s.eng)
+	s.reg = obs.NewRegistry()
+	s.eng.MustRegister(s.reg, "ltta")
+	s.registerServerMetrics()
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetricsProm)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workersWG.Add(1)
 		go s.worker()
 	}
+	go s.warmup()
 	return s
+}
+
+// warmup runs a tiny Prepare+check canary so /readyz only reports
+// ready once the engine demonstrably works in this process — the
+// first real batch then pays no first-use cost and a broken build
+// never joins a load balancer.
+func (s *Server) warmup() {
+	c := gen.C17(10)
+	v := core.Prepare(c).NewVerifier(core.Default())
+	cr := v.RunAll(s.baseCtx, core.Request{Delta: v.Topological().Add(1)})
+	s.ready.Store(true)
+	s.log.LogAttrs(s.baseCtx, slog.LevelInfo, "ready",
+		slog.String("canary", c.Name), slog.String("verdict", cr.Final.String()),
+		slog.Int("workers", s.cfg.Workers), slog.Int("queueDepth", s.cfg.QueueDepth))
+}
+
+// registerServerMetrics wires the admission and lifecycle counters
+// into the Prometheus registry next to the engine histograms.
+func (s *Server) registerServerMetrics() {
+	s.reg.CounterFunc("lttad_batches_accepted_total",
+		"Batches admitted past the bounded queue.", nil, s.accepted.Load)
+	s.reg.CounterFunc("lttad_batches_rejected_total",
+		"Batches rejected by backpressure.", obs.Labels{"reason": "queue_full"}, s.rejectedFull.Load)
+	s.reg.CounterFunc("lttad_batches_rejected_total",
+		"Batches rejected by backpressure.", obs.Labels{"reason": "draining"}, s.rejectedDrain.Load)
+	s.reg.CounterFunc("lttad_bad_requests_total",
+		"Submissions rejected before admission (parse/validate).", nil, s.badRequests.Load)
+	s.reg.CounterFunc("lttad_checks_run_total",
+		"Checks executed on the pool.", nil, s.checksRun.Load)
+	s.reg.CounterFunc("lttad_check_panics_total",
+		"Checks that panicked and were isolated.", nil, s.panics.Load)
+	s.reg.CounterFunc("lttad_streams_total",
+		"Batches served as NDJSON streams.", nil, s.streams.Load)
+	s.reg.GaugeFunc("lttad_queued_batches",
+		"Admitted batches currently holding a queue slot.", nil,
+		func() float64 { return float64(len(s.slots)) })
+	s.reg.GaugeFunc("lttad_queue_depth",
+		"Admission queue capacity.", nil,
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	s.reg.GaugeFunc("lttad_workers",
+		"Check-execution pool size.", nil,
+		func() float64 { return float64(s.cfg.Workers) })
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -158,7 +227,9 @@ func (s *Server) runOne(ctx context.Context, v *core.Verifier, req core.Request)
 			}
 		}
 	}()
-	req.Tracer = &s.agg
+	// Chain the server-wide tracers with any batch-level tracer (span
+	// recording) the caller installed.
+	req.Tracer = core.MultiTracer(s.tracer, req.Tracer)
 	rep = v.Run(ctx, req)
 	s.checksRun.Add(1)
 	return rep, ""
@@ -225,6 +296,8 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		s.rejectedDrain.Add(1)
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "batch rejected",
+			slog.String("reason", "draining"))
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, &apiError{status: http.StatusServiceUnavailable, code: "draining",
 			msg: "server is draining; resubmit elsewhere"})
@@ -233,25 +306,21 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	req, apiErr := decodeRequest(r.Body)
 	if apiErr != nil {
-		s.badRequests.Add(1)
-		writeError(w, apiErr)
+		s.rejectBadRequest(r.Context(), w, apiErr)
 		return
 	}
 	c, apiErr := parseNetlist(req)
 	if apiErr != nil {
-		s.badRequests.Add(1)
-		writeError(w, apiErr)
+		s.rejectBadRequest(r.Context(), w, apiErr)
 		return
 	}
 	checks, apiErr := resolveChecks(c, req.Checks)
 	if apiErr != nil {
-		s.badRequests.Add(1)
-		writeError(w, apiErr)
+		s.rejectBadRequest(r.Context(), w, apiErr)
 		return
 	}
 	if n := batchSize(c, req, checks); n > s.cfg.MaxChecks {
-		s.badRequests.Add(1)
-		writeError(w, badRequest("too_many_checks",
+		s.rejectBadRequest(r.Context(), w, badRequest("too_many_checks",
 			"batch expands to %d checks, cap is %d", n, s.cfg.MaxChecks))
 		return
 	}
@@ -261,6 +330,8 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	case s.slots <- struct{}{}:
 	default:
 		s.rejectedFull.Add(1)
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "batch rejected",
+			slog.String("reason", "queue_full"), slog.Int("queueDepth", s.cfg.QueueDepth))
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, &apiError{status: http.StatusTooManyRequests, code: "queue_full",
 			msg: fmt.Sprintf("admission queue full (%d batches)", s.cfg.QueueDepth)})
@@ -288,10 +359,18 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	b := &batch{srv: s, req: req, c: c, checks: checks,
+	id := s.batchSeq.Add(1)
+	b := &batch{srv: s, req: req, c: c, checks: checks, id: id,
+		log:  s.log.With(slog.Int64("batch", id)),
 		opts: engineOptions(req.Options), budgets: engineBudgets(req.Budgets),
 		checkTimeout: minTimeout(s.cfg.CheckTimeout, time.Duration(req.CheckTimeoutMs)*time.Millisecond),
 	}
+	if s.cfg.TraceDir != "" {
+		b.rec = obs.NewSpanRecorder(c)
+	}
+	b.log.LogAttrs(ctx, slog.LevelInfo, "batch accepted",
+		slog.String("circuit", c.Name), slog.Int("checks", batchSize(c, req, checks)),
+		slog.Bool("stream", req.Stream))
 	if req.Stream {
 		s.streams.Add(1)
 		b.stream(ctx, w)
@@ -300,6 +379,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	resp := b.run(ctx, nil)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// rejectBadRequest tallies, logs, and answers a pre-admission error.
+func (s *Server) rejectBadRequest(ctx context.Context, w http.ResponseWriter, e *apiError) {
+	s.badRequests.Add(1)
+	s.log.LogAttrs(ctx, slog.LevelInfo, "bad request",
+		slog.String("code", e.code), slog.String("message", e.msg))
+	writeError(w, e)
 }
 
 // batchSize is the number of checks a request expands to (-1 when a
@@ -343,36 +430,68 @@ func minTimeout(a, b time.Duration) time.Duration {
 	return b
 }
 
-// Health is the /healthz body.
+// Health is the /healthz and /readyz body.
 type Health struct {
-	Status   string `json:"status"` // "ok" or "draining"
+	Status   string `json:"status"` // "ok", "starting", or "draining"
 	Workers  int    `json:"workers"`
 	Queued   int    `json:"queuedBatches"`
 	Capacity int    `json:"queueDepth"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) health() Health {
 	h := Health{Status: "ok", Workers: s.cfg.Workers, Queued: len(s.slots), Capacity: s.cfg.QueueDepth}
-	code := http.StatusOK
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		h.Status = "draining"
+	case !s.ready.Load():
+		h.Status = "starting"
+	}
+	return h
+}
+
+// handleHealthz is pure liveness: the process is up and serving HTTP,
+// so it always answers 200 — the status field is informational.
+// Restart-deciders probe here; load balancers probe /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.health())
+}
+
+// handleReadyz is readiness: 503 before the warm-up canary completes
+// ("starting") and from the moment the server begins draining
+// ("draining"), 200 in between — exactly the window in which a new
+// submission would be admitted.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := s.health()
+	code := http.StatusOK
+	if h.Status != "ok" {
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(h)
 }
 
-// Metrics is the /metrics body: server counters plus the engine-wide
-// ltta.* expvar counters and the aggregated engine telemetry of every
-// check this server ran.
+// handleMetricsProm is GET /metrics: the Prometheus text exposition —
+// server admission counters, the engine's per-stage latency and work
+// histograms, and runtime/metrics samples (heap, GC, goroutines).
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+	obs.WriteRuntimeProm(w)
+}
+
+// Metrics is the /metrics.json body: server counters plus the
+// engine-wide ltta.* expvar counters and the aggregated engine
+// telemetry of every check this server ran.
 type Metrics struct {
 	Server map[string]int64 `json:"server"`
 	Engine map[string]int64 `json:"engine"`
 	Checks string           `json:"checksSummary"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	m := Metrics{
 		Server: map[string]int64{
 			"acceptedBatches":  s.accepted.Load(),
