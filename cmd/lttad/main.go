@@ -4,11 +4,21 @@
 // a bounded worker pool, and answers with per-check verdicts,
 // witnesses, and engine statistics (NDJSON streaming on request).
 //
+// Circuits can also be uploaded once into the content-addressed
+// registry (PUT /v1/circuits → stable sha256 hash) and then checked
+// repeatedly via POST /v1/circuits/{hash}/check: warm checks reuse the
+// cached prepared state — zero parses, zero core.Prepare calls — and
+// concurrent cold checks on one hash coalesce onto a single
+// preparation. -registry-size and -registry-bytes bound the cache (LRU
+// beyond; entries pinned by running batches are never freed under
+// them, see DESIGN.md §13).
+//
 // Usage:
 //
 //	lttad [-addr :8090] [-workers N] [-queue N]
 //	      [-check-timeout D] [-batch-timeout D] [-drain-timeout D]
 //	      [-max-body BYTES] [-max-checks N] [-debug-addr A]
+//	      [-registry-size N] [-registry-bytes BYTES]
 //
 // Overload and lifecycle semantics (see DESIGN.md §10):
 //
@@ -59,6 +69,8 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	traceDir := flag.String("trace-dir", "", "write a trace_event timeline per batch to this directory")
+	registrySize := flag.Int("registry-size", 0, "circuit-registry capacity in circuits (0 = default 128)")
+	registryBytes := flag.Int64("registry-bytes", 0, "circuit-registry resident-byte cap (0 = default 1 GiB, negative = unlimited)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -83,6 +95,9 @@ func main() {
 		BatchTimeout: *batchTimeout,
 		Logger:       logger,
 		TraceDir:     *traceDir,
+
+		RegistryMaxCircuits: *registrySize,
+		RegistryMaxBytes:    *registryBytes,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 

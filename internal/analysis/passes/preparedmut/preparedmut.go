@@ -8,6 +8,12 @@
 // once/mutex fields. Any later write — to a field, into a backing
 // slice or map, or through the struct to the shared netlist — is a
 // data race waiting for the right interleaving.
+//
+// registry.entry extends the same ownership to the content-addressed
+// circuit registry: the entry caches a *core.Prepared shared across
+// every batch pinned on it, and all entry bookkeeping (refcounts,
+// condemnation, the singleflight channel) is owned by registry.go —
+// writes from any other file bypass the registry's locking discipline.
 package preparedmut
 
 import (
@@ -37,8 +43,8 @@ var (
 )
 
 func init() {
-	Analyzer.Flags.StringVar(&typesFlag, "types", "core.Prepared,core.conePrep,circuit.ConeMap", "comma-separated pkg.Type list of protected types")
-	Analyzer.Flags.StringVar(&constructorsFlag, "constructors", "prepare.go,transform.go", "comma-separated file basenames allowed to mutate protected types")
+	Analyzer.Flags.StringVar(&typesFlag, "types", "core.Prepared,core.conePrep,circuit.ConeMap,registry.entry", "comma-separated pkg.Type list of protected types")
+	Analyzer.Flags.StringVar(&constructorsFlag, "constructors", "prepare.go,transform.go,registry.go", "comma-separated file basenames allowed to mutate protected types")
 	analysis.Register(Analyzer)
 }
 

@@ -10,6 +10,8 @@ import (
 func TestPreparedMut(t *testing.T) {
 	// "core" seeds in-package writes (with declaring-file and
 	// constructor-file allowances), "circuit" hosts the protected
-	// ConeMap, and "user" seeds the cross-package mutations.
-	analysistest.Run(t, analysistest.TestData(t), preparedmut.Analyzer, "core", "circuit", "user")
+	// ConeMap, "user" seeds the cross-package mutations, and
+	// "registry" seeds writes to the cache entry (and the Prepared it
+	// shares) from outside the entry's home file.
+	analysistest.Run(t, analysistest.TestData(t), preparedmut.Analyzer, "core", "circuit", "user", "registry")
 }

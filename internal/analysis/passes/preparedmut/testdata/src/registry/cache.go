@@ -1,0 +1,18 @@
+// cache.go is NOT a constructor file and does not declare entry: every
+// write to the cache entry here bypasses the registry's locking
+// discipline and must be flagged. Reads stay silent.
+package registry
+
+// steal mutates entry bookkeeping outside its home file.
+func steal(e *entry) {
+	e.refs-- // want `-- mutates shared registry\.entry`
+}
+
+// drop condemns an entry from the wrong file.
+func drop(e *entry) {
+	e.condemned = true // want `assignment mutates shared registry\.entry`
+	e.prepared = nil   // want `assignment mutates shared registry\.entry`
+}
+
+// pinned only observes and stays silent.
+func pinned(e *entry) bool { return e.refs > 0 && !e.condemned }

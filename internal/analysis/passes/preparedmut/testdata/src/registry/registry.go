@@ -1,0 +1,31 @@
+// Package registry is a golden-test stand-in for
+// repro/internal/registry. This file declares the protected entry type
+// (and is also a configured constructor file), so its bookkeeping
+// writes are allowed — mirroring the real registry.go, which owns all
+// entry mutation under the registry mutex.
+package registry
+
+import "core"
+
+// entry mirrors registry.entry: one cached circuit with its shared
+// prepared state, refcount, and condemnation flag.
+type entry struct {
+	refs      int
+	condemned bool
+	prepared  *core.Prepared
+}
+
+// acquire and condemn live in the entry's home file: allowed.
+func acquire(e *entry) {
+	e.refs++
+}
+
+func condemn(e *entry) {
+	e.condemned = true
+	e.refs--
+}
+
+// publish installs the singleflight result: allowed here, nowhere else.
+func publish(e *entry, p *core.Prepared) {
+	e.prepared = p
+}

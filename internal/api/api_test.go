@@ -1,0 +1,82 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAcceptsVersion(t *testing.T) {
+	for v, want := range map[int]bool{0: true, 1: true, 2: false, -1: false, 99: false} {
+		if got := AcceptsVersion(v); got != want {
+			t.Errorf("AcceptsVersion(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// TestUnknownFieldTolerance pins the forward-compatibility contract:
+// a v1 decoder must ignore fields added by later minor revisions on
+// every envelope, not reject the body.
+func TestUnknownFieldTolerance(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		into any
+	}{
+		{"request", `{"v":1,"netlist":"x","checks":[{"sink":"y","delta":3,"futureKnob":true}],"futureField":{"a":1}}`, &Request{}},
+		{"upload", `{"v":1,"netlist":"x","delays":[{"net":"y","delay":2,"futureKnob":1}],"future":"yes"}`, &UploadRequest{}},
+		{"response", `{"v":1,"circuit":{"name":"c","futureStat":9},"done":{"checksRun":1},"future":[1,2]}`, &Response{}},
+		{"uploadResponse", `{"v":1,"hash":"sha256:00","created":true,"future":"x"}`, &UploadResponse{}},
+		{"event", `{"type":"done","done":{"checksRun":0},"future":3}`, &Event{}},
+		{"error", `{"error":{"code":"x","message":"y","hash":"h","future":1}}`, &ErrorBody{}},
+	}
+	for _, tc := range cases {
+		if err := json.Unmarshal([]byte(tc.body), tc.into); err != nil {
+			t.Errorf("%s: decoding with unknown fields failed: %v", tc.name, err)
+		}
+	}
+}
+
+func TestRequestVersionRoundTrip(t *testing.T) {
+	b, err := json.Marshal(Request{V: Version, Netlist: "n", Checks: []CheckSpec{{Sink: "s", Delta: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"v":1`) {
+		t.Fatalf("encoded request carries no version field: %s", b)
+	}
+	var r Request
+	if err := json.Unmarshal(b, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.V != Version {
+		t.Fatalf("round-tripped V = %d, want %d", r.V, Version)
+	}
+	// A pre-versioning body decodes with V == 0, which AcceptsVersion
+	// treats as the implicit v1.
+	var legacy Request
+	if err := json.Unmarshal([]byte(`{"netlist":"n"}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if !AcceptsVersion(legacy.V) {
+		t.Fatal("legacy unversioned body must decode as v1")
+	}
+}
+
+func TestHashValid(t *testing.T) {
+	h := NewHash(sha256.Sum256([]byte("netlist")))
+	if !h.Valid() {
+		t.Fatalf("minted hash %q does not validate", h)
+	}
+	for _, bad := range []Hash{
+		"", "sha256:", "sha256:zz", Hash("md5:" + strings.Repeat("0", 64)),
+		Hash("sha256:" + strings.Repeat("0", 63)),
+		Hash("sha256:" + strings.Repeat("0", 63) + "G"),
+		Hash("sha256:" + strings.Repeat("A", 64)), // upper-case hex is not minted
+	} {
+		if bad.Valid() {
+			t.Errorf("hash %q must not validate", bad)
+		}
+	}
+}

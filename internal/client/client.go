@@ -1,7 +1,8 @@
 // Package client is the thin Go client for the lttad batch
-// timing-check service: submit a batch or sweep, stream NDJSON
-// results, and read health/metrics. The wire types live in
-// internal/server; this package only speaks HTTP.
+// timing-check service: upload circuits into the content-addressed
+// registry, submit batches or sweeps (by hash or inline), stream
+// NDJSON results, and read health/metrics. The wire vocabulary lives
+// in the shared internal/api package; this package only speaks HTTP.
 package client
 
 import (
@@ -15,7 +16,7 @@ import (
 	"strconv"
 	"time"
 
-	"repro/internal/server"
+	"repro/internal/api"
 )
 
 // Client talks to one lttad instance.
@@ -37,11 +38,15 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // APIError is a non-2xx server answer: the structured error body plus
-// the Retry-After hint on backpressure responses (429/503).
+// the Retry-After hint on backpressure responses (429/503). Hash is
+// set on "unknown_hash" answers — the content address the server did
+// not recognise — so retry loops can re-upload without keeping their
+// own request state.
 type APIError struct {
 	Status     int
 	Code       string
 	Message    string
+	Hash       api.Hash
 	RetryAfter time.Duration
 }
 
@@ -55,12 +60,18 @@ func (e *APIError) Temporary() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
+// UnknownHash reports whether the server did not recognise the
+// requested content address; re-uploading the circuit repairs it.
+func (e *APIError) UnknownHash() bool {
+	return e.Status == http.StatusNotFound && e.Code == "unknown_hash"
+}
+
 // decodeAPIError turns a non-2xx response into an *APIError.
 func decodeAPIError(resp *http.Response) *APIError {
 	apiErr := &APIError{Status: resp.StatusCode, Code: "unknown"}
-	var body server.ErrorBody
+	var body api.ErrorBody
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil {
-		apiErr.Code, apiErr.Message = body.Error.Code, body.Error.Message
+		apiErr.Code, apiErr.Message, apiErr.Hash = body.Error.Code, body.Error.Message, body.Error.Hash
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil {
@@ -70,12 +81,14 @@ func decodeAPIError(resp *http.Response) *APIError {
 	return apiErr
 }
 
-func (c *Client) post(ctx context.Context, req server.Request) (*http.Response, error) {
-	body, err := json.Marshal(req)
+// do sends one JSON body and returns the response, mapping every
+// non-2xx answer to an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	enc, err := json.Marshal(body)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/check", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(enc))
 	if err != nil {
 		return nil, err
 	}
@@ -84,38 +97,162 @@ func (c *Client) post(ctx context.Context, req server.Request) (*http.Response, 
 	if err != nil {
 		return nil, err
 	}
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode/100 != 2 {
 		defer resp.Body.Close()
 		return nil, decodeAPIError(resp)
 	}
 	return resp, nil
 }
 
-// Check submits a batch and returns the buffered response. The
-// request's Stream flag is forced off.
-func (c *Client) Check(ctx context.Context, req server.Request) (*server.Response, error) {
-	req.Stream = false
-	resp, err := c.post(ctx, req)
+// UploadOptions qualifies an uploaded netlist. The zero value means
+// bench format, the parser's circuit name, and the default gate delay
+// (10, the paper's experiments).
+type UploadOptions struct {
+	// Format is "bench" (default) or "verilog".
+	Format string
+	// Name names the circuit in responses; it is part of the content
+	// address.
+	Name string
+	// DefaultDelay is the gate delay used when the netlist does not
+	// annotate one (0 means 10).
+	DefaultDelay int64
+	// SDF optionally back-annotates gate delays from a Standard Delay
+	// Format document.
+	SDF string
+	// Delays override individual gate delays; the server canonicalizes
+	// the list (order never changes the hash).
+	Delays []api.DelayAnnotation
+}
+
+// Upload registers a netlist in the server's content-addressed circuit
+// registry and returns its stable content hash. Idempotent: uploading
+// identical content yields the same hash and costs the server nothing
+// beyond hashing.
+func (c *Client) Upload(ctx context.Context, netlist string, opts UploadOptions) (api.Hash, error) {
+	up, err := c.upload(ctx, netlist, opts)
+	if err != nil {
+		return "", err
+	}
+	return up.Hash, nil
+}
+
+func (c *Client) upload(ctx context.Context, netlist string, opts UploadOptions) (*api.UploadResponse, error) {
+	req := api.UploadRequest{
+		V: api.Version, Netlist: netlist, Format: opts.Format, Name: opts.Name,
+		DefaultDelay: opts.DefaultDelay, SDF: opts.SDF, Delays: opts.Delays,
+	}
+	resp, err := c.do(ctx, http.MethodPut, "/v1/circuits", req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	var out server.Response
+	var out api.UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding upload response: %w", err)
+	}
+	return &out, nil
+}
+
+// CheckByHash runs a batch against a previously uploaded circuit. The
+// request must not carry netlist fields — the circuit identity is the
+// hash. A warm server answers with zero parse and zero preparation
+// work. The request's Stream flag is forced off.
+func (c *Client) CheckByHash(ctx context.Context, hash api.Hash, req api.Request) (*api.Response, error) {
+	req.Stream = false
+	resp, err := c.do(ctx, http.MethodPost, "/v1/circuits/"+string(hash)+"/check", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out api.Response
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("client: decoding response: %w", err)
 	}
 	return &out, nil
 }
 
-// Stream submits a batch with NDJSON streaming and calls fn for every
-// event, in arrival order, ending with the "done" event. A non-nil
-// error from fn aborts the stream and is returned.
-func (c *Client) Stream(ctx context.Context, req server.Request, fn func(server.Event) error) error {
+// StreamByHash runs a hash-addressed batch with NDJSON streaming,
+// calling fn for every event in arrival order, ending with "done".
+func (c *Client) StreamByHash(ctx context.Context, hash api.Hash, req api.Request, fn func(api.Event) error) error {
 	req.Stream = true
-	resp, err := c.post(ctx, req)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/circuits/"+string(hash)+"/check", req)
 	if err != nil {
 		return err
 	}
+	return drainEvents(resp, fn)
+}
+
+// CheckInline submits a batch with the netlist carried in the request
+// body — the original single-shot protocol, kept alongside the
+// registry path (and proven result-identical to it by the differential
+// e2e suite). The request's Stream flag is forced off.
+func (c *Client) CheckInline(ctx context.Context, req api.Request) (*api.Response, error) {
+	req.Stream = false
+	resp, err := c.do(ctx, http.MethodPost, "/v1/check", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out api.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// Check submits a batch and returns the buffered response.
+//
+// Deprecated: Check now rides the registry — it uploads the request's
+// netlist (idempotent) and checks by hash, so repeated batches against
+// one circuit reuse the server's cached prepared state. Call Upload +
+// CheckByHash directly to control the two steps, or CheckInline for
+// the original single-request protocol.
+func (c *Client) Check(ctx context.Context, req api.Request) (*api.Response, error) {
+	hash, err := c.Upload(ctx, req.Netlist, UploadOptions{
+		Format: req.Format, Name: req.Name, DefaultDelay: req.DefaultDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	byHash := req
+	byHash.Netlist, byHash.Format, byHash.Name, byHash.DefaultDelay = "", "", "", 0
+	resp, err := c.CheckByHash(ctx, hash, byHash)
+	var apiErr *APIError
+	if err != nil && apiErrAs(err, &apiErr) && apiErr.UnknownHash() {
+		// Evicted between upload and check: re-register once and retry.
+		if hash, err = c.Upload(ctx, req.Netlist, UploadOptions{
+			Format: req.Format, Name: req.Name, DefaultDelay: req.DefaultDelay,
+		}); err != nil {
+			return nil, err
+		}
+		return c.CheckByHash(ctx, hash, byHash)
+	}
+	return resp, err
+}
+
+// apiErrAs is errors.As specialised to *APIError (the only error type
+// this package mints for HTTP-level failures).
+func apiErrAs(err error, target **APIError) bool {
+	e, ok := err.(*APIError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// Stream submits an inline batch with NDJSON streaming and calls fn
+// for every event, in arrival order, ending with the "done" event. A
+// non-nil error from fn aborts the stream and is returned.
+func (c *Client) Stream(ctx context.Context, req api.Request, fn func(api.Event) error) error {
+	req.Stream = true
+	resp, err := c.do(ctx, http.MethodPost, "/v1/check", req)
+	if err != nil {
+		return err
+	}
+	return drainEvents(resp, fn)
+}
+
+func drainEvents(resp *http.Response, fn func(api.Event) error) error {
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -124,7 +261,7 @@ func (c *Client) Stream(ctx context.Context, req server.Request, fn func(server.
 		if len(line) == 0 {
 			continue
 		}
-		var ev server.Event
+		var ev api.Event
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return fmt.Errorf("client: decoding event: %w", err)
 		}
@@ -137,18 +274,18 @@ func (c *Client) Stream(ctx context.Context, req server.Request, fn func(server.
 
 // Healthz reads /healthz — pure liveness, 200 whenever the process
 // serves HTTP; the body's status field says ok/starting/draining.
-func (c *Client) Healthz(ctx context.Context) (*server.Health, error) {
+func (c *Client) Healthz(ctx context.Context) (*api.Health, error) {
 	return c.getHealth(ctx, "/healthz")
 }
 
 // Readyz reads /readyz — readiness. A starting or draining server
 // answers 503 but still carries the health body, which is returned
 // alongside the APIError.
-func (c *Client) Readyz(ctx context.Context) (*server.Health, error) {
+func (c *Client) Readyz(ctx context.Context) (*api.Health, error) {
 	return c.getHealth(ctx, "/readyz")
 }
 
-func (c *Client) getHealth(ctx context.Context, path string) (*server.Health, error) {
+func (c *Client) getHealth(ctx context.Context, path string) (*api.Health, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return nil, err
@@ -158,7 +295,7 @@ func (c *Client) getHealth(ctx context.Context, path string) (*server.Health, er
 		return nil, err
 	}
 	defer resp.Body.Close()
-	var h server.Health
+	var h api.Health
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		return nil, fmt.Errorf("client: decoding health: %w", err)
 	}
@@ -176,7 +313,7 @@ func (c *Client) getHealth(ctx context.Context, path string) (*server.Health, er
 
 // Metrics reads /metrics.json, the structured counter document. The
 // Prometheus text exposition lives at /metrics (see MetricsProm).
-func (c *Client) Metrics(ctx context.Context) (*server.Metrics, error) {
+func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics.json", nil)
 	if err != nil {
 		return nil, err
@@ -189,7 +326,7 @@ func (c *Client) Metrics(ctx context.Context) (*server.Metrics, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeAPIError(resp)
 	}
-	var m server.Metrics
+	var m api.Metrics
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		return nil, fmt.Errorf("client: decoding metrics: %w", err)
 	}

@@ -1,0 +1,109 @@
+package registry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/api"
+)
+
+// BadUploadError rejects an upload before it is hashed or parsed; the
+// server maps Code straight onto its structured 400 body.
+type BadUploadError struct {
+	Code    string
+	Message string
+}
+
+func (e *BadUploadError) Error() string { return e.Message }
+
+func badUpload(code, format string, args ...any) *BadUploadError {
+	return &BadUploadError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Canonicalize normalizes an upload into the form that is hashed:
+// defaults made explicit (format "bench", defaultDelay 10) and the
+// delay-annotation list sorted by net with identical duplicates
+// collapsed — so two uploads that describe the same circuit with
+// differently-ordered annotations share one content address. The
+// netlist and SDF texts are NOT normalized: they hash byte-identical,
+// and formatting differences deliberately yield distinct addresses.
+// Conflicting annotations (one net, two different delays) are a
+// canonicalization error, not a last-wins guess.
+func Canonicalize(up *api.UploadRequest) (*api.UploadRequest, error) {
+	canon := *up
+	canon.V = 0 // transport versioning is not content
+	if strings.TrimSpace(canon.Netlist) == "" {
+		return nil, badUpload("missing_netlist", "upload carries no netlist")
+	}
+	switch canon.Format {
+	case "":
+		canon.Format = "bench"
+	case "bench", "verilog":
+	default:
+		return nil, badUpload("bad_format", "unknown netlist format %q (want bench or verilog)", canon.Format)
+	}
+	if canon.DefaultDelay < 0 {
+		return nil, badUpload("bad_delay", "defaultDelay must be ≥ 0, got %d", canon.DefaultDelay)
+	}
+	if canon.DefaultDelay == 0 {
+		canon.DefaultDelay = 10
+	}
+	if len(canon.Delays) > 0 {
+		ds := make([]api.DelayAnnotation, len(canon.Delays))
+		copy(ds, canon.Delays)
+		for i, d := range ds {
+			if strings.TrimSpace(d.Net) == "" {
+				return nil, badUpload("bad_annotation", "delay annotation %d names no net", i)
+			}
+			if d.Delay <= 0 {
+				return nil, badUpload("bad_annotation", "delay annotation for %q must be > 0, got %d", d.Net, d.Delay)
+			}
+			if d.DMin < 0 || d.DMin > d.Delay {
+				return nil, badUpload("bad_annotation", "annotation for %q has dmin %d outside [0, %d]", d.Net, d.DMin, d.Delay)
+			}
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Net < ds[j].Net })
+		out := ds[:0]
+		for _, d := range ds {
+			if n := len(out); n > 0 && out[n-1].Net == d.Net {
+				if out[n-1] != d {
+					return nil, badUpload("conflicting_annotation",
+						"net %q annotated twice with different delays (%d/%d vs %d/%d)",
+						d.Net, out[n-1].Delay, out[n-1].DMin, d.Delay, d.DMin)
+				}
+				continue // identical duplicate: collapse
+			}
+			out = append(out, d)
+		}
+		canon.Delays = out
+	}
+	return &canon, nil
+}
+
+// HashUpload canonicalizes the upload and returns its content address
+// together with the canonical form (which Put hands to the circuit
+// builder so hashing and parsing agree on the effective defaults).
+func HashUpload(up *api.UploadRequest) (api.Hash, *api.UploadRequest, error) {
+	canon, err := Canonicalize(up)
+	if err != nil {
+		return "", nil, err
+	}
+	var b bytes.Buffer
+	// Every variable-length field is length-prefixed so no crafted
+	// netlist/SDF/name combination can collide by shifting bytes
+	// across field boundaries.
+	fmt.Fprintf(&b, "ltta-circuit/v1\nformat:%s\nname:%d:%s\ndefaultDelay:%d\n",
+		canon.Format, len(canon.Name), canon.Name, canon.DefaultDelay)
+	fmt.Fprintf(&b, "netlist:%d:", len(canon.Netlist))
+	b.WriteString(canon.Netlist)
+	fmt.Fprintf(&b, "\nsdf:%d:", len(canon.SDF))
+	b.WriteString(canon.SDF)
+	fmt.Fprintf(&b, "\ndelays:%d\n", len(canon.Delays))
+	for _, d := range canon.Delays {
+		fmt.Fprintf(&b, "%d:%s %d %d\n", len(d.Net), d.Net, d.Delay, d.DMin)
+	}
+	return api.NewHash(sha256.Sum256(b.Bytes())), canon, nil
+}

@@ -3,12 +3,15 @@
 // netlist plus either an explicit batch of (sink, δ) checks or a
 // δ-sweep over every primary output; the server parses and prepares
 // the circuit once (core.Prepare) and fans the checks out over a
-// bounded worker pool shared by all in-flight batches. Production
-// concerns are handled here, not in core: bounded admission with
-// 429 + Retry-After backpressure, per-check and per-batch timeouts
-// mapped onto core.Run's context and budgets, panic isolation so one
-// crashing check fails alone, NDJSON streaming of per-check results,
-// graceful drain, and /healthz + /metrics observability.
+// bounded worker pool shared by all in-flight batches — or, with the
+// content-addressed registry, references a previously uploaded
+// circuit by hash and reuses its cached core.Prepared outright.
+// Production concerns are handled here, not in core: bounded
+// admission with 429 + Retry-After backpressure, per-check and
+// per-batch timeouts mapped onto core.Run's context and budgets,
+// panic isolation so one crashing check fails alone, NDJSON streaming
+// of per-check results, graceful drain, and /healthz + /metrics
+// observability.
 package server
 
 import (
@@ -19,6 +22,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/api"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -26,214 +30,41 @@ import (
 	"repro/internal/waveform"
 )
 
-// CheckSpec names one timing check of an explicit batch.
-type CheckSpec struct {
-	// Sink is the net to check, by name.
-	Sink string `json:"sink"`
-	// Delta is the timing-check threshold δ.
-	Delta int64 `json:"delta"`
-	// VerifyOnly runs only the verify() stage (fixpoint + global
-	// implications) and reports N or P without case analysis.
-	VerifyOnly bool `json:"verifyOnly,omitempty"`
-}
-
-// SweepSpec describes a δ-sweep: every δ in Deltas is checked against
-// every primary output. With Table1 set, Deltas is ignored — the
-// server first computes the exact circuit floating delay D and then
-// evaluates the paper's row pair δ = D+1 and δ = D, reproducing the
-// harness protocol (including the first-witness-wins early exit)
-// server-side.
-type SweepSpec struct {
-	Deltas []int64 `json:"deltas,omitempty"`
-	Table1 bool    `json:"table1,omitempty"`
-}
-
-// OptionsSpec overrides the engine options, starting from the paper's
-// full configuration (core.Default()).
-type OptionsSpec struct {
-	NoDominators bool `json:"noDominators,omitempty"`
-	NoLearning   bool `json:"noLearning,omitempty"`
-	NoStems      bool `json:"noStems,omitempty"`
-	NoCone       bool `json:"noCone,omitempty"`
-	// MaxBacktracks bounds the case analysis (0 = the default 200000,
-	// negative = unlimited).
-	MaxBacktracks int `json:"maxBacktracks,omitempty"`
-	// MaxStemSplits caps stems correlated per check (0 = default 64).
-	MaxStemSplits int `json:"maxStemSplits,omitempty"`
-}
-
-// BudgetsSpec maps onto core.Budgets: per-check work bounds beyond the
-// option defaults. Exhaustion yields the verdict A (abandoned).
-type BudgetsSpec struct {
-	MaxBacktracks   int   `json:"maxBacktracks,omitempty"`
-	MaxStemSplits   int   `json:"maxStemSplits,omitempty"`
-	MaxPropagations int64 `json:"maxPropagations,omitempty"`
-}
-
-// Request is the body of POST /v1/check.
-type Request struct {
-	// Netlist is the circuit source text.
-	Netlist string `json:"netlist"`
-	// Format is "bench" (default) or "verilog".
-	Format string `json:"format,omitempty"`
-	// Name names the circuit in responses (default: the parser's).
-	Name string `json:"name,omitempty"`
-	// DefaultDelay is the gate delay used when the netlist does not
-	// annotate one (default 10, the paper's experiments).
-	DefaultDelay int64 `json:"defaultDelay,omitempty"`
-
-	// Exactly one of Checks and Sweep must be present.
-	Checks []CheckSpec `json:"checks,omitempty"`
-	Sweep  *SweepSpec  `json:"sweep,omitempty"`
-
-	Options *OptionsSpec `json:"options,omitempty"`
-	Budgets *BudgetsSpec `json:"budgets,omitempty"`
-
-	// CheckTimeoutMs bounds each check's wall clock; an expired check
-	// reports the terminal verdict C (cancelled). The server's own
-	// per-check cap, when configured, wins if smaller.
-	CheckTimeoutMs int64 `json:"checkTimeoutMs,omitempty"`
-	// TimeoutMs bounds the whole batch the same way.
-	TimeoutMs int64 `json:"timeoutMs,omitempty"`
-
-	// Stream requests an NDJSON response: one Event per line as results
-	// become available, instead of a single Response document.
-	Stream bool `json:"stream,omitempty"`
-}
-
-// CircuitInfo describes the parsed netlist, echoed first in every
-// response. Checks is the number of checks the batch was admitted
-// with — for streaming clients, the exact number of "check" events the
-// response will carry (table1 sweeps discover their checks during the
-// delay search and announce -1).
-type CircuitInfo struct {
-	Name    string   `json:"name"`
-	Gates   int      `json:"gates"`
-	Nets    int      `json:"nets"`
-	PIs     int      `json:"pis"`
-	POs     int      `json:"pos"`
-	Levels  int      `json:"levels"`
-	PINames []string `json:"piNames"`
-	Checks  int      `json:"checks"`
-}
-
-// CheckResult serialises one core.Report. Verdicts use the paper's
-// single-letter codes (P, N, V, A, C, -). Witness is the violating
-// input vector as a bit string indexed parallel to PINames.
-type CheckResult struct {
-	Sink  string `json:"sink"`
-	Delta int64  `json:"delta"`
-	// Index is the check's position in the batch (explicit batches) or
-	// the primary-output index (sweeps).
-	Index int `json:"index"`
-
-	BeforeGITD   string `json:"beforeGITD"`
-	AfterGITD    string `json:"afterGITD"`
-	AfterStem    string `json:"afterStem"`
-	CaseAnalysis string `json:"caseAnalysis"`
-	Final        string `json:"final"`
-	Backtracks   int    `json:"backtracks"`
-
-	Witness       string `json:"witness,omitempty"`
-	WitnessSettle int64  `json:"witnessSettle,omitempty"`
-
-	Dominators      int   `json:"dominators"`
-	DominatorRounds int   `json:"dominatorRounds"`
-	Propagations    int64 `json:"propagations"`
-	Narrowings      int64 `json:"narrowings"`
-	QueueHighWater  int   `json:"queueHighWater"`
-	Decisions       int64 `json:"decisions"`
-	StemSplits      int   `json:"stemSplits"`
-	ElapsedUs       int64 `json:"elapsedUs"`
-
-	// Error reports a panic-isolated worker failure; the check carries
-	// the sound verdict A (the engine gave up) and the batch continues.
-	Error string `json:"error,omitempty"`
-}
-
-// SweepResult aggregates one δ of a sweep, mirroring
-// core.CircuitReport. PerOutput lists the per-output results that
-// entered the aggregate: every output for plain sweeps, the serial
-// prefix up to the first witnessing output for table1 sweeps.
-type SweepResult struct {
-	Delta         int64         `json:"delta"`
-	BeforeGITD    string        `json:"beforeGITD"`
-	AfterGITD     string        `json:"afterGITD"`
-	AfterStem     string        `json:"afterStem"`
-	CaseAnalysis  string        `json:"caseAnalysis"`
-	Final         string        `json:"final"`
-	Backtracks    int           `json:"backtracks"`
-	WitnessOutput int           `json:"witnessOutput"`
-	Propagations  int64         `json:"propagations"`
-	Dominators    int           `json:"dominators"`
-	Rounds        int           `json:"dominatorRounds"`
-	PerOutput     []CheckResult `json:"perOutput"`
-}
-
-// Row is one reproduced Table-1 line, field-compatible with the
-// harness's JSON row rendering.
-type Row struct {
-	Circuit    string  `json:"circuit"`
-	Gates      int     `json:"gates"`
-	Top        int64   `json:"top"`
-	Delta      int64   `json:"delta"`
-	Exact      bool    `json:"exact"`
-	Upper      bool    `json:"upperBound"`
-	BeforeGITD string  `json:"beforeGITD"`
-	AfterGITD  string  `json:"afterGITD"`
-	AfterStem  string  `json:"afterStemCorrelation"`
-	Backtracks int     `json:"backtracks"`
-	CAResult   string  `json:"caseAnalysis"`
-	CPUSeconds float64 `json:"cpuSeconds"`
-}
-
-// Response is the non-streaming body of POST /v1/check.
-type Response struct {
-	Circuit CircuitInfo   `json:"circuit"`
-	Results []CheckResult `json:"results,omitempty"`
-	Sweeps  []SweepResult `json:"sweeps,omitempty"`
-	Rows    []Row         `json:"rows,omitempty"`
-	Done    DoneInfo      `json:"done"`
-}
-
-// DoneInfo closes a batch: how many checks ran and the batch wall
-// clock.
-type DoneInfo struct {
-	ChecksRun int   `json:"checksRun"`
-	ElapsedUs int64 `json:"elapsedUs"`
-}
-
-// Event is one NDJSON line of a streaming response. Type is "circuit"
-// (first line), "check", "sweep", "rows", "error", or "done" (always
-// the last line).
-type Event struct {
-	Type    string       `json:"type"`
-	Circuit *CircuitInfo `json:"circuit,omitempty"`
-	Check   *CheckResult `json:"check,omitempty"`
-	Sweep   *SweepResult `json:"sweep,omitempty"`
-	Rows    []Row        `json:"rows,omitempty"`
-	Error   string       `json:"error,omitempty"`
-	Done    *DoneInfo    `json:"done,omitempty"`
-}
-
-// ErrorBody is the structured body of every non-2xx response.
-type ErrorBody struct {
-	Error ErrorInfo `json:"error"`
-}
-
-// ErrorInfo carries a stable machine-readable code plus a human
-// message.
-type ErrorInfo struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+// The wire vocabulary moved to the shared versioned internal/api
+// package (consumed by internal/client directly, so the client no
+// longer imports the server). These aliases keep the server's
+// historical surface — server.Request, server.Response, … — valid for
+// existing callers.
+type (
+	CheckSpec       = api.CheckSpec
+	SweepSpec       = api.SweepSpec
+	OptionsSpec     = api.OptionsSpec
+	BudgetsSpec     = api.BudgetsSpec
+	Request         = api.Request
+	DelayAnnotation = api.DelayAnnotation
+	UploadRequest   = api.UploadRequest
+	UploadResponse  = api.UploadResponse
+	CircuitInfo     = api.CircuitInfo
+	CheckResult     = api.CheckResult
+	SweepResult     = api.SweepResult
+	Row             = api.Row
+	Response        = api.Response
+	DoneInfo        = api.DoneInfo
+	Event           = api.Event
+	ErrorBody       = api.ErrorBody
+	ErrorInfo       = api.ErrorInfo
+	Health          = api.Health
+	Metrics         = api.Metrics
+)
 
 // apiError is an error with an HTTP status and a stable code; every
-// request-decoding failure becomes one (never a panic).
+// request-decoding failure becomes one (never a panic). hash, when
+// set, is echoed in the error body (the unknown_hash case).
 type apiError struct {
 	status int
 	code   string
 	msg    string
+	hash   api.Hash
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -242,30 +73,54 @@ func badRequest(code, format string, args ...any) *apiError {
 	return &apiError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
 }
 
-// decodeRequest reads and validates a request body. Every failure maps
-// to a structured 4xx — arbitrary bytes must never panic (enforced by
-// FuzzDecodeRequest).
-func decodeRequest(r io.Reader) (*Request, *apiError) {
-	dec := json.NewDecoder(r)
-	var req Request
-	if err := dec.Decode(&req); err != nil {
+// decodeBody decodes one JSON document into dst, mapping failures to
+// structured 4xx errors (never a panic — enforced by FuzzDecodeRequest).
+func decodeBody(r io.Reader, dst any) *apiError {
+	if err := json.NewDecoder(r).Decode(dst); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			return nil, &apiError{status: http.StatusRequestEntityTooLarge,
+			return &apiError{status: http.StatusRequestEntityTooLarge,
 				code: "body_too_large", msg: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
 		}
-		return nil, badRequest("bad_json", "decoding request: %v", err)
+		return badRequest("bad_json", "decoding request: %v", err)
 	}
-	if strings.TrimSpace(req.Netlist) == "" {
-		return nil, badRequest("missing_netlist", "request carries no netlist")
+	return nil
+}
+
+// unsupportedVersion is the structured rejection of an envelope from a
+// future protocol revision.
+func unsupportedVersion(v int) *apiError {
+	return badRequest("unsupported_version", "protocol version %d not supported (this server speaks v%d)", v, api.Version)
+}
+
+// decodeRequest reads and validates a check-request body. With
+// byHash set the request is hash-addressed: the circuit identity
+// lives in the URL, so the netlist fields must be absent.
+func decodeRequest(r io.Reader, byHash bool) (*Request, *apiError) {
+	var req Request
+	if apiErr := decodeBody(r, &req); apiErr != nil {
+		return nil, apiErr
 	}
-	switch req.Format {
-	case "", "bench", "verilog":
-	default:
-		return nil, badRequest("bad_format", "unknown netlist format %q (want bench or verilog)", req.Format)
+	if !api.AcceptsVersion(req.V) {
+		return nil, unsupportedVersion(req.V)
 	}
-	if req.DefaultDelay < 0 {
-		return nil, badRequest("bad_delay", "defaultDelay must be ≥ 0, got %d", req.DefaultDelay)
+	if byHash {
+		if strings.TrimSpace(req.Netlist) != "" || req.Format != "" || req.Name != "" || req.DefaultDelay != 0 {
+			return nil, badRequest("netlist_in_hash_check",
+				"hash-addressed checks carry no netlist fields; the circuit identity is the URL hash")
+		}
+	} else {
+		if strings.TrimSpace(req.Netlist) == "" {
+			return nil, badRequest("missing_netlist", "request carries no netlist")
+		}
+		switch req.Format {
+		case "", "bench", "verilog":
+		default:
+			return nil, badRequest("bad_format", "unknown netlist format %q (want bench or verilog)", req.Format)
+		}
+		if req.DefaultDelay < 0 {
+			return nil, badRequest("bad_delay", "defaultDelay must be ≥ 0, got %d", req.DefaultDelay)
+		}
 	}
 	if req.CheckTimeoutMs < 0 || req.TimeoutMs < 0 {
 		return nil, badRequest("bad_timeout", "timeouts must be ≥ 0")
@@ -286,26 +141,27 @@ func decodeRequest(r io.Reader) (*Request, *apiError) {
 	return &req, nil
 }
 
-// parseNetlist builds the circuit from the request's netlist text.
-func parseNetlist(req *Request) (*circuit.Circuit, *apiError) {
-	delay := req.DefaultDelay
-	if delay == 0 {
-		delay = 10
+// parseNetlist builds a circuit from netlist source text. The
+// caller counts the parse (s.netlistParses) so cache-hit paths can
+// prove they never reach here.
+func parseNetlist(netlist, format, name string, defaultDelay int64) (*circuit.Circuit, *apiError) {
+	if defaultDelay == 0 {
+		defaultDelay = 10
 	}
 	var (
 		c   *circuit.Circuit
 		err error
 	)
-	if req.Format == "verilog" {
-		c, err = verilog.ParseString(req.Netlist, verilog.Options{DefaultDelay: delay})
+	if format == "verilog" {
+		c, err = verilog.ParseString(netlist, verilog.Options{DefaultDelay: defaultDelay})
 	} else {
-		c, err = circuit.ParseBenchString(req.Netlist, circuit.BenchOptions{DefaultDelay: delay, Name: req.Name})
+		c, err = circuit.ParseBenchString(netlist, circuit.BenchOptions{DefaultDelay: defaultDelay, Name: name})
 	}
 	if err != nil {
 		return nil, badRequest("bad_netlist", "parsing netlist: %v", err)
 	}
-	if req.Name != "" {
-		c.Name = req.Name
+	if name != "" {
+		c.Name = name
 	}
 	return c, nil
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -26,6 +27,7 @@ type batch struct {
 	req     *Request
 	c       *circuit.Circuit
 	checks  []resolvedCheck
+	prep    *core.Prepared // registry-cached precompute; nil on the inline path
 	opts    core.Options
 	budgets core.Budgets
 
@@ -75,10 +77,13 @@ func (b *batch) stream(ctx context.Context, w http.ResponseWriter) {
 // record is additionally emitted as it becomes available.
 func (b *batch) run(ctx context.Context, em *emitter) *Response {
 	start := time.Now()
-	resp := &Response{Circuit: circuitInfo(b.c, batchSize(b.c, b.req, b.checks))}
+	resp := &Response{V: api.Version, Circuit: circuitInfo(b.c, batchSize(b.c, b.req, b.checks))}
 	em.emit(Event{Type: "circuit", Circuit: &resp.Circuit})
 
-	prep := core.Prepare(b.c)
+	prep := b.prep
+	if prep == nil { // inline path: the batch pays its own preparation
+		prep = core.Prepare(b.c)
+	}
 	v := prep.NewVerifier(b.opts)
 
 	switch {

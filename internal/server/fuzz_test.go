@@ -47,12 +47,12 @@ func fuzzSeeds(f *testing.F) {
 func FuzzDecodeRequest(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		req, apiErr := decodeRequest(bytes.NewReader(data))
+		req, apiErr := decodeRequest(bytes.NewReader(data), false)
 		if apiErr != nil {
 			check4xx(t, apiErr)
 			return
 		}
-		c, apiErr := parseNetlist(req)
+		c, apiErr := parseNetlist(req.Netlist, req.Format, req.Name, req.DefaultDelay)
 		if apiErr != nil {
 			check4xx(t, apiErr)
 			return

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/obs"
+	"repro/internal/registry"
 )
 
 // Config sizes the service. The zero value of every field selects a
@@ -48,6 +49,13 @@ type Config struct {
 	// TraceDir, when non-empty, writes a Chrome trace_event timeline
 	// per batch to TraceDir/batch-<id>.trace.json (Perfetto-loadable).
 	TraceDir string
+	// RegistryMaxCircuits bounds the content-addressed circuit registry
+	// behind PUT /v1/circuits (default 128 circuits; LRU beyond).
+	RegistryMaxCircuits int
+	// RegistryMaxBytes bounds the registry's estimated resident bytes —
+	// circuits plus cached prepared state (default 1 GiB; negative =
+	// unlimited).
+	RegistryMaxBytes int64
 }
 
 func (cfg Config) withDefaults() Config {
@@ -107,6 +115,8 @@ type Server struct {
 	reg    *obs.Registry    // the Prometheus exposition
 	tracer core.Tracer      // agg+eng chain stamped on every check
 
+	registry *registry.Registry // content-addressed circuits + prepared-state cache
+
 	// counters behind /metrics
 	accepted      atomic.Int64
 	rejectedFull  atomic.Int64
@@ -115,6 +125,7 @@ type Server struct {
 	checksRun     atomic.Int64
 	panics        atomic.Int64
 	streams       atomic.Int64
+	netlistParses atomic.Int64 // every parseNetlist call; warm hash checks stay at zero
 }
 
 // New builds a Server and starts its worker pool.
@@ -132,8 +143,14 @@ func New(cfg Config) *Server {
 	s.tracer = core.MultiTracer(&s.agg, s.eng)
 	s.reg = obs.NewRegistry()
 	s.eng.MustRegister(s.reg, "ltta")
+	s.registry = registry.New(registry.Config{
+		MaxCircuits:      cfg.RegistryMaxCircuits,
+		MaxResidentBytes: cfg.RegistryMaxBytes,
+	})
 	s.registerServerMetrics()
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
+	s.mux.HandleFunc("PUT /v1/circuits", s.handleCircuitPut)
+	s.mux.HandleFunc("POST /v1/circuits/{hash}/check", s.handleCheckByHash)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetricsProm)
@@ -186,6 +203,36 @@ func (s *Server) registerServerMetrics() {
 	s.reg.GaugeFunc("lttad_workers",
 		"Check-execution pool size.", nil,
 		func() float64 { return float64(s.cfg.Workers) })
+	s.reg.CounterFunc("lttad_netlist_parses_total",
+		"Netlist parses performed (uploads and inline checks; registry cache hits never parse).",
+		nil, s.netlistParses.Load)
+	s.reg.CounterFunc("lttad_registry_hits_total",
+		"Hash-addressed checks that found their prepared state resident.", nil, s.registry.Hits)
+	s.reg.CounterFunc("lttad_registry_misses_total",
+		"Hash-addressed checks that arrived cold (led or joined a preparation).", nil, s.registry.Misses)
+	s.reg.CounterFunc("lttad_registry_unknown_total",
+		"Checks against hashes no circuit is registered under (404).", nil, s.registry.Unknown)
+	s.reg.CounterFunc("lttad_registry_prepares_total",
+		"core.Prepare executions inside the registry.", nil, s.registry.Prepares)
+	s.reg.CounterFunc("lttad_registry_singleflight_coalesced_total",
+		"Cold checks that coalesced onto an in-flight preparation instead of running their own.",
+		nil, s.registry.Coalesced)
+	s.reg.CounterFunc("lttad_registry_evictions_total",
+		"Registry entries evicted by capacity pressure.",
+		obs.Labels{"mode": "immediate"}, s.registry.Evictions)
+	s.reg.CounterFunc("lttad_registry_evictions_total",
+		"Registry entries evicted by capacity pressure.",
+		obs.Labels{"mode": "deferred"}, s.registry.DeferredEvictions)
+	s.reg.CounterFunc("lttad_registry_uploads_total",
+		"Circuit uploads by outcome.", obs.Labels{"result": "created"}, s.registry.UploadsCreated)
+	s.reg.CounterFunc("lttad_registry_uploads_total",
+		"Circuit uploads by outcome.", obs.Labels{"result": "existing"}, s.registry.UploadsExisting)
+	s.reg.GaugeFunc("lttad_registry_circuits",
+		"Circuits currently registered (acquirable).", nil,
+		func() float64 { return float64(s.registry.Circuits()) })
+	s.reg.GaugeFunc("lttad_registry_resident_bytes",
+		"Estimated bytes held by registered circuits and prepared state.", nil,
+		func() float64 { return float64(s.registry.ResidentBytes()) })
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -275,7 +322,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func writeError(w http.ResponseWriter, e *apiError) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(e.status)
-	_ = json.NewEncoder(w).Encode(ErrorBody{Error: ErrorInfo{Code: e.code, Message: e.msg}})
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: ErrorInfo{Code: e.code, Message: e.msg, Hash: e.hash}})
 }
 
 func (s *Server) retryAfterSeconds() string {
@@ -304,16 +351,29 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	req, apiErr := decodeRequest(r.Body)
+	req, apiErr := decodeRequest(r.Body, false)
 	if apiErr != nil {
 		s.rejectBadRequest(r.Context(), w, apiErr)
 		return
 	}
-	c, apiErr := parseNetlist(req)
+	s.netlistParses.Add(1)
+	c, apiErr := parseNetlist(req.Netlist, req.Format, req.Name, req.DefaultDelay)
 	if apiErr != nil {
 		s.rejectBadRequest(r.Context(), w, apiErr)
 		return
 	}
+	s.admitAndRun(w, r, req, c, nil)
+}
+
+// admitAndRun is the admission + execution half shared by the inline
+// and hash-addressed check paths: resolve sinks, take a queue slot (or
+// 429), build the batch context, and execute. pin is nil on the inline
+// path; on the hash path it holds the registered circuit (already
+// acquired by the caller, who releases it after the response is
+// written) and its prepared state is resolved here — after admission,
+// under the batch context — so cold preparations respect the queue
+// bound and the drain deadline.
+func (s *Server) admitAndRun(w http.ResponseWriter, r *http.Request, req *Request, c *circuit.Circuit, pin *registry.Pin) {
 	checks, apiErr := resolveChecks(c, req.Checks)
 	if apiErr != nil {
 		s.rejectBadRequest(r.Context(), w, apiErr)
@@ -359,8 +419,24 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	var (
+		prep    *core.Prepared
+		wasHit  bool
+		hashStr string
+	)
+	if pin != nil {
+		var err error
+		prep, wasHit, err = pin.Prepared(ctx)
+		if err != nil {
+			writeError(w, &apiError{status: http.StatusInternalServerError,
+				code: "prepare_failed", msg: err.Error(), hash: pin.Hash()})
+			return
+		}
+		hashStr = string(pin.Hash())
+	}
+
 	id := s.batchSeq.Add(1)
-	b := &batch{srv: s, req: req, c: c, checks: checks, id: id,
+	b := &batch{srv: s, req: req, c: c, checks: checks, prep: prep, id: id,
 		log:  s.log.With(slog.Int64("batch", id)),
 		opts: engineOptions(req.Options), budgets: engineBudgets(req.Budgets),
 		checkTimeout: minTimeout(s.cfg.CheckTimeout, time.Duration(req.CheckTimeoutMs)*time.Millisecond),
@@ -368,9 +444,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.TraceDir != "" {
 		b.rec = obs.NewSpanRecorder(c)
 	}
-	b.log.LogAttrs(ctx, slog.LevelInfo, "batch accepted",
+	attrs := []slog.Attr{
 		slog.String("circuit", c.Name), slog.Int("checks", batchSize(c, req, checks)),
-		slog.Bool("stream", req.Stream))
+		slog.Bool("stream", req.Stream),
+	}
+	if pin != nil {
+		attrs = append(attrs, slog.String("hash", hashStr), slog.Bool("cacheHit", wasHit))
+	}
+	b.log.LogAttrs(ctx, slog.LevelInfo, "batch accepted", attrs...)
 	if req.Stream {
 		s.streams.Add(1)
 		b.stream(ctx, w)
@@ -430,14 +511,6 @@ func minTimeout(a, b time.Duration) time.Duration {
 	return b
 }
 
-// Health is the /healthz and /readyz body.
-type Health struct {
-	Status   string `json:"status"` // "ok", "starting", or "draining"
-	Workers  int    `json:"workers"`
-	Queued   int    `json:"queuedBatches"`
-	Capacity int    `json:"queueDepth"`
-}
-
 func (s *Server) health() Health {
 	h := Health{Status: "ok", Workers: s.cfg.Workers, Queued: len(s.slots), Capacity: s.cfg.QueueDepth}
 	switch {
@@ -482,15 +555,6 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
 	obs.WriteRuntimeProm(w)
 }
 
-// Metrics is the /metrics.json body: server counters plus the
-// engine-wide ltta.* expvar counters and the aggregated engine
-// telemetry of every check this server ran.
-type Metrics struct {
-	Server map[string]int64 `json:"server"`
-	Engine map[string]int64 `json:"engine"`
-	Checks string           `json:"checksSummary"`
-}
-
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	m := Metrics{
 		Server: map[string]int64{
@@ -504,6 +568,19 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 			"queuedBatches":    int64(len(s.slots)),
 			"queueDepth":       int64(s.cfg.QueueDepth),
 			"workers":          int64(s.cfg.Workers),
+
+			"netlistParses":             s.netlistParses.Load(),
+			"registryCircuits":          int64(s.registry.Circuits()),
+			"registryResidentBytes":     s.registry.ResidentBytes(),
+			"registryHits":              s.registry.Hits(),
+			"registryMisses":            s.registry.Misses(),
+			"registryUnknown":           s.registry.Unknown(),
+			"registryPrepares":          s.registry.Prepares(),
+			"registryCoalesced":         s.registry.Coalesced(),
+			"registryEvictions":         s.registry.Evictions(),
+			"registryDeferredEvictions": s.registry.DeferredEvictions(),
+			"registryUploadsCreated":    s.registry.UploadsCreated(),
+			"registryUploadsExisting":   s.registry.UploadsExisting(),
 		},
 		Engine: map[string]int64{},
 		Checks: s.agg.String(),
