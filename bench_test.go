@@ -262,7 +262,9 @@ func BenchmarkRunAllParallelC880(b *testing.B) {
 // block's outputs see only a fraction of the netlist each, so the cone
 // configuration should win on both time and allocations. One warmup
 // sweep outside the timer pays the per-sink cone construction once —
-// steady state is what a delay search or repeated sweep observes.
+// steady state is what a delay search or repeated sweep observes:
+// warm-started (the default) and report-arena-backed, it runs
+// allocation-free.
 
 func benchIndustrialSweep(b *testing.B, cone bool) {
 	c := gen.Industrial(7, 48, 10)
@@ -271,7 +273,7 @@ func benchIndustrialSweep(b *testing.B, cone bool) {
 	v := core.NewVerifier(c, opts)
 	delta := v.Topological().Add(1)
 	ctx := context.Background()
-	req := core.Request{Delta: delta, Workers: 1}
+	req := core.Request{Delta: delta, Workers: 1, Arena: new(core.ReportArena)}
 	if v.RunAll(ctx, req).Final != core.NoViolation {
 		b.Fatal("δ=top+1 must be refuted")
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	benchsnap [-bench RE] [-benchtime T] [-count N] [-pkg P] [-out F]
+//	benchsnap -baseline BENCH_old.json [-tolerance PCT] [-bench RE] ...
 //
 // The default output name carries the date (BENCH_2006-01-02.json);
 // the JSON body itself is timestamp-free so regenerating a snapshot on
@@ -14,6 +15,15 @@
 //	go run ./cmd/benchsnap                       # full suite snapshot
 //	go run ./cmd/benchsnap -out BENCH_$(date +%F).json
 //	git diff --no-index BENCH_old.json BENCH_new.json
+//
+// With -baseline the run becomes a regression gate instead of a
+// snapshot: the selected benchmarks run now, the best (minimum) ns/op
+// and allocs/op per name are compared against the same benchmark in
+// the baseline file, and the process exits 1 when any current value
+// exceeds the baseline by more than -tolerance percent (so a baseline
+// of 0 allocs/op means any allocation at all fails). CI uses this to
+// diff the hot-path benchmarks against the latest committed
+// BENCH_<date>.json.
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -67,6 +78,8 @@ func main() {
 	count := flag.Int("count", 1, "passed to go test -count")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", "", "output file (default BENCH_<date>.json in the current directory)")
+	baseline := flag.String("baseline", "", "compare against this snapshot instead of writing one; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 15, "percent regression allowed against -baseline before failing")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench,
@@ -119,6 +132,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *baseline != "" {
+		os.Exit(compare(*baseline, snap.Results, *tolerance))
+	}
+
 	path := *out
 	if path == "" {
 		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
@@ -139,4 +156,88 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchsnap: %d results -> %s\n", len(snap.Results), path)
+}
+
+// best folds -count repetitions down to the most favourable (minimum)
+// ns/op and allocs/op per benchmark name, damping scheduler noise so
+// the gate compares steady-state bests, not unlucky single runs.
+func best(entries []Entry) map[string]Entry {
+	m := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		b, ok := m[e.Name]
+		if !ok {
+			m[e.Name] = e
+			continue
+		}
+		if e.NsPerOp < b.NsPerOp {
+			b.NsPerOp = e.NsPerOp
+		}
+		if e.AllocsPerOp < b.AllocsPerOp {
+			b.AllocsPerOp = e.AllocsPerOp
+		}
+		if e.BytesPerOp < b.BytesPerOp {
+			b.BytesPerOp = e.BytesPerOp
+		}
+		m[e.Name] = b
+	}
+	return m
+}
+
+// compare gates the just-measured results against a committed
+// snapshot. Only benchmarks present in both are compared (the gate
+// typically runs a -bench subset of a full-suite snapshot). Returns
+// the process exit code: 1 if any benchmark's best ns/op or allocs/op
+// exceeds the baseline's best by more than tol percent, 0 otherwise.
+func compare(path string, current []Entry, tol float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 1
+	}
+	var base Snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", path, err)
+		return 1
+	}
+	if base.Schema != "ltta-bench/v1" {
+		fmt.Fprintf(os.Stderr, "benchsnap: %s: unknown schema %q\n", path, base.Schema)
+		return 1
+	}
+
+	baseBest, curBest := best(base.Results), best(current)
+	names := make([]string, 0, len(curBest))
+	for name := range curBest {
+		if _, ok := baseBest[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: no benchmark measured now also appears in %s\n", path)
+		return 1
+	}
+
+	fail := false
+	fmt.Printf("benchsnap: comparing %d benchmark(s) against %s (tolerance %.0f%%)\n", len(names), path, tol)
+	for _, name := range names {
+		b, c := baseBest[name], curBest[name]
+		nsLimit := b.NsPerOp * (1 + tol/100)
+		allocLimit := int64(float64(b.AllocsPerOp) * (1 + tol/100))
+		verdict := "ok"
+		switch {
+		case c.NsPerOp > nsLimit:
+			verdict = "FAIL ns/op"
+			fail = true
+		case c.AllocsPerOp > allocLimit:
+			verdict = "FAIL allocs/op"
+			fail = true
+		}
+		fmt.Printf("  %-40s %12.0f -> %12.0f ns/op  %6d -> %6d allocs/op  %s\n",
+			name, b.NsPerOp, c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp, verdict)
+	}
+	if fail {
+		fmt.Fprintln(os.Stderr, "benchsnap: performance regression beyond tolerance")
+		return 1
+	}
+	return 0
 }

@@ -8,5 +8,6 @@ import (
 	_ "repro/internal/analysis/passes/ctxflow"
 	_ "repro/internal/analysis/passes/mapdeterminism"
 	_ "repro/internal/analysis/passes/preparedmut"
+	_ "repro/internal/analysis/passes/soaalias"
 	_ "repro/internal/analysis/passes/timesat"
 )

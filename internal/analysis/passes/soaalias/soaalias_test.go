@@ -1,0 +1,16 @@
+package soaalias_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/soaalias"
+)
+
+func TestSoaAlias(t *testing.T) {
+	// "constraint" mirrors the real kernel: kernel.go holds the owner
+	// types with every allowed idiom (element access, self-reslice,
+	// append grow/splat, copy in and out), bad.go seeds the escaping
+	// aliases and non-owner writes the pass must flag.
+	analysistest.Run(t, analysistest.TestData(t), soaalias.Analyzer, "constraint")
+}

@@ -1,0 +1,52 @@
+package constraint
+
+type holder struct{ arr []int64 }
+
+func sink([]int64) {}
+
+// Escaping aliases: every way a reference to the arena can leave the
+// kernel.
+func leakReturn(s *System) []int64 {
+	return s.dom // want `return aliases SoA array constraint\.System\.dom`
+}
+
+func leakSub(s *System) []int64 {
+	return s.dom[1:3] // want `sub-slice aliases SoA array constraint\.System\.dom`
+}
+
+func aliases(s *System) {
+	d := s.dom // want `assignment aliases SoA array constraint\.System\.dom`
+	_ = d
+	p := &s.dom[0] // want `address of an element aliases SoA array constraint\.System\.dom`
+	_ = p
+	sink(s.dom)             // want `call argument aliases SoA array constraint\.System\.dom`
+	h := holder{arr: s.dom} // want `composite literal aliases SoA array constraint\.System\.dom`
+	_ = h
+	grown := append(s.dom, 1) // want `append result aliases SoA array constraint\.System\.dom`
+	_ = grown
+	t2 := s.trail.idx // want `assignment aliases SoA array constraint\.trail\.idx`
+	_ = t2
+}
+
+// Writes from outside the owner types: the trail API is the only
+// write path.
+func writesOutside(s *System) {
+	s.dom[3] = 9                         // want `write to SoA array constraint\.System\.dom outside its owner's methods`
+	s.dom[3]++                           // want `write to SoA array constraint\.System\.dom`
+	s.dom = nil                          // want `write to SoA array constraint\.System\.dom`
+	copy(s.dom, []int64{1})              // want `write to SoA array constraint\.System\.dom`
+	s.trail.marks = s.trail.marks[:0]    // want `write to SoA array constraint\.trail\.marks`
+	s.trail.idx = append(s.trail.idx, 0) // want `write to SoA array constraint\.trail\.idx`
+}
+
+type wrapper struct{ s *System }
+
+// A method on a non-owner type is still outside the kernel.
+func (w *wrapper) bad() {
+	w.s.dom[0] = 1 // want `write to SoA array constraint\.System\.dom`
+}
+
+// suppressed shows a justified escape hatch.
+func suppressed(s *System) []int64 {
+	return s.dom //lttalint:ignore soaalias golden test of the suppression path
+}

@@ -1,0 +1,89 @@
+// Package constraint is the golden mirror of the real SoA kernel:
+// every construct here is an allowed idiom and must produce no
+// diagnostics.
+package constraint
+
+// System owns the flat domain store, trail the save arena — the same
+// shapes (and default -arrays/-owners configuration) as the real
+// kernel.
+type System struct {
+	dom   []int64
+	trail trail
+}
+
+type trail struct {
+	idx   []int32
+	old   []int64
+	marks []int
+}
+
+func New(n int) *System {
+	// Composite-literal construction binds fresh arrays; no alias of an
+	// existing arena is involved.
+	return &System{dom: make([]int64, 4*n)}
+}
+
+// setLane is the trail-mediated element write.
+func (s *System) setLane(i int, v int64) {
+	if old := s.dom[i]; old != v {
+		s.trail.save(int32(i), old)
+		s.dom[i] = v
+	}
+}
+
+func (t *trail) mark() { t.marks = append(t.marks, len(t.idx)) }
+
+// save pushes onto the arena with the append grow idiom.
+func (t *trail) save(i int32, old int64) {
+	if len(t.marks) == 0 {
+		return
+	}
+	t.idx = append(t.idx, i)
+	t.old = append(t.old, old)
+}
+
+// Undo replays a level backwards and truncates with self-reslices.
+func (s *System) Undo() {
+	if n := len(s.trail.marks); n > 0 {
+		base := s.trail.marks[n-1]
+		s.trail.marks = s.trail.marks[:n-1]
+		for i := len(s.trail.idx) - 1; i >= base; i-- {
+			s.dom[s.trail.idx[i]] = s.trail.old[i]
+		}
+		s.trail.idx = s.trail.idx[:base]
+		s.trail.old = s.trail.old[:base]
+	}
+}
+
+// Snapshot copies the lanes out through the append splat idiom; the
+// result never aliases the arena.
+func (s *System) Snapshot(buf []int64) []int64 {
+	return append(buf[:0], s.dom...)
+}
+
+// Restore copies a snapshot in: an owner-gated write.
+func (s *System) Restore(snap []int64) {
+	if len(snap) != len(s.dom) {
+		panic("lane count mismatch")
+	}
+	copy(s.dom, snap)
+	s.trail.idx = s.trail.idx[:0]
+	s.trail.old = s.trail.old[:0]
+	s.trail.marks = s.trail.marks[:0]
+}
+
+// reads shows every aliasing-free read from outside the owners.
+func reads(s *System) int64 {
+	var sum int64
+	for _, v := range s.dom {
+		sum += v
+	}
+	sum += s.dom[0]
+	sum += int64(len(s.dom) + cap(s.dom))
+	out := make([]int64, len(s.dom))
+	copy(out, s.dom) // copy out: values leave, the alias does not
+	if s.dom == nil {
+		return 0
+	}
+	return sum + int64(len(s.trail.marks))
+}

@@ -89,6 +89,12 @@ type OptionsSpec struct {
 	NoLearning   bool `json:"noLearning,omitempty"`
 	NoStems      bool `json:"noStems,omitempty"`
 	NoCone       bool `json:"noCone,omitempty"`
+	// WarmStart opts a batch into warm-started δ-sweeps. Unlike the
+	// library, the server defaults warm-start OFF: its worker pool can
+	// run same-sink checks of one batch concurrently, making the work
+	// counters in responses depend on scheduling. Verdicts are
+	// warm-start-invariant, so opting in only perturbs the statistics.
+	WarmStart bool `json:"warmStart,omitempty"`
 	// MaxBacktracks bounds the case analysis (0 = the default 200000,
 	// negative = unlimited).
 	MaxBacktracks int `json:"maxBacktracks,omitempty"`

@@ -73,12 +73,35 @@ func decodeAPIError(resp *http.Response) *APIError {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil {
 		apiErr.Code, apiErr.Message, apiErr.Hash = body.Error.Code, body.Error.Message, body.Error.Hash
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
-		}
+	if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+		apiErr.RetryAfter = d
 	}
 	return apiErr
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3: either delta-seconds or an HTTP-date (proxies routinely
+// rewrite one into the other). Dates are converted to a wait relative
+// to now, clamped at zero when already past. Garbage values report
+// ok=false and the caller keeps its zero default.
+func parseRetryAfter(ra string, now time.Time) (time.Duration, bool) {
+	if ra == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(ra); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // do sends one JSON body and returns the response, mapping every
@@ -301,10 +324,8 @@ func (c *Client) getHealth(ctx context.Context, path string) (*api.Health, error
 	}
 	if resp.StatusCode != http.StatusOK {
 		apiErr := &APIError{Status: resp.StatusCode, Code: "unhealthy", Message: h.Status}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil {
-				apiErr.RetryAfter = time.Duration(secs) * time.Second
-			}
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			apiErr.RetryAfter = d
 		}
 		return &h, apiErr
 	}

@@ -1,0 +1,97 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfterDeltaSeconds(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"0", 0},
+		{"1", time.Second},
+		{"120", 2 * time.Minute},
+	} {
+		got, ok := parseRetryAfter(tc.in, now)
+		if !ok || got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, true)", tc.in, got, ok, tc.want)
+		}
+	}
+}
+
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+
+	future := now.Add(90 * time.Second).Format(http.TimeFormat)
+	if got, ok := parseRetryAfter(future, now); !ok || got != 90*time.Second {
+		t.Errorf("future HTTP-date: got (%v, %v), want (90s, true)", got, ok)
+	}
+
+	// A date already past means "retry now", not a negative wait.
+	past := now.Add(-time.Hour).Format(http.TimeFormat)
+	if got, ok := parseRetryAfter(past, now); !ok || got != 0 {
+		t.Errorf("past HTTP-date: got (%v, %v), want (0, true)", got, ok)
+	}
+
+	// The obsolete RFC 850 and asctime formats are valid HTTP-dates too.
+	rfc850 := now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT")
+	if got, ok := parseRetryAfter(rfc850, now); !ok || got != 30*time.Second {
+		t.Errorf("RFC 850 date: got (%v, %v), want (30s, true)", got, ok)
+	}
+}
+
+func TestParseRetryAfterGarbage(t *testing.T) {
+	now := time.Now()
+	for _, in := range []string{"", "soon", "-5", "12.5", "Wed, 99 Foo 2026", "1h"} {
+		if got, ok := parseRetryAfter(in, now); ok || got != 0 {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (0, false)", in, got, ok)
+		}
+	}
+}
+
+// TestDecodeAPIErrorRetryAfterForms runs both header forms through a
+// real response: the proxy-style HTTP-date must populate RetryAfter
+// just like the server's own delta-seconds does.
+func TestDecodeAPIErrorRetryAfterForms(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		header func() string
+		check  func(d time.Duration) bool
+	}{
+		{"delta-seconds", func() string { return "7" },
+			func(d time.Duration) bool { return d == 7*time.Second }},
+		{"http-date", func() string { return time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat) },
+			func(d time.Duration) bool { return d > 5*time.Second && d <= 10*time.Second }},
+		{"garbage", func() string { return "eventually" },
+			func(d time.Duration) bool { return d == 0 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Retry-After", tc.header())
+				w.WriteHeader(http.StatusTooManyRequests)
+				w.Write([]byte(`{"error":{"code":"queue_full","message":"busy"}}`))
+			}))
+			defer ts.Close()
+			resp, err := http.Get(ts.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			apiErr := decodeAPIError(resp)
+			if apiErr.Status != http.StatusTooManyRequests || apiErr.Code != "queue_full" {
+				t.Fatalf("decoded %+v", apiErr)
+			}
+			if !apiErr.Temporary() {
+				t.Fatal("429 must be Temporary")
+			}
+			if !tc.check(apiErr.RetryAfter) {
+				t.Fatalf("RetryAfter = %v", apiErr.RetryAfter)
+			}
+		})
+	}
+}

@@ -57,8 +57,8 @@ func (s *System) applyGate(gid circuit.GateID) {
 // inverted) input shifted by d, in both directions, exactly.
 func (s *System) projectUnate(g *circuit.Gate) {
 	d := waveform.Time(g.Delay)
-	in := s.dom[g.Inputs[0]]
-	out := s.dom[g.Output]
+	in := s.sig(g.Inputs[0])
+	out := s.sig(g.Output)
 	outIn := out.Shift(-d) // output domain seen from the input frame
 	if g.Type == circuit.NOT {
 		outIn = outIn.Invert()
@@ -96,7 +96,7 @@ func (s *System) projectSymmetric(g *circuit.Gate, ctrl int) {
 	if g.Type.Inverting() {
 		ctrlOutClass = non
 	}
-	out := s.dom[g.Output]
+	out := s.sig(g.Output)
 	outC := out.Wave(ctrlOutClass).Shift(-d) // required interval, controlled class
 	outN := out.Wave(1 - ctrlOutClass).Shift(-d)
 
@@ -123,8 +123,8 @@ func (s *System) projectSymmetric(g *circuit.Gate, ctrl int) {
 		numF       int               // |F|: inputs that must settle controlling
 	)
 	for i, n := range g.Inputs {
-		cw := s.dom[n].Wave(ctrl)
-		nw := s.dom[n].Wave(non)
+		cw := s.wave(n, ctrl)
+		nw := s.wave(n, non)
 		ctrlW[i], nonW[i] = cw, nw
 		if nw.IsEmpty() && cw.IsEmpty() {
 			// Empty domain: the system is already inconsistent.
@@ -197,7 +197,13 @@ func (s *System) projectSymmetric(g *circuit.Gate, ctrl int) {
 	// requirement-compatible combination (all members need Lmax ≥ loC;
 	// some member needs Lmin ≤ hiC — qualifying members provide both).
 	cntQ := 0
-	qual := make([]bool, k)
+	if cap(s.scrQual) < k {
+		s.scrQual = make([]bool, k)
+	}
+	qual := s.scrQual[:k]
+	for i := range qual {
+		qual[i] = false
+	}
 	if famCLive {
 		for i := range g.Inputs {
 			if !ctrlW[i].IsEmpty() && ctrlW[i].Lmax >= loC && ctrlW[i].Lmin <= hiC {
@@ -301,12 +307,12 @@ func (s *System) projectParity(g *circuit.Gate) {
 	}
 	inW := s.scrPar[:k]
 	for i, n := range g.Inputs {
-		inW[i][0] = s.dom[n].Wave(0)
-		inW[i][1] = s.dom[n].Wave(1)
+		inW[i][0] = s.wave(n, 0)
+		inW[i][1] = s.wave(n, 1)
 	}
 	outReq := [2]waveform.Wave{
-		s.dom[g.Output].Wave(0).Shift(-d),
-		s.dom[g.Output].Wave(1).Shift(-d),
+		s.wave(g.Output, 0).Shift(-d),
+		s.wave(g.Output, 1).Shift(-d),
 	}
 
 	fwd := [2]waveform.Wave{waveform.Empty, waveform.Empty}

@@ -109,11 +109,11 @@ func TestGateProjectionSoundness(t *testing.T) {
 				id, _ := c.NetByName(n)
 				inIDs[i] = id
 				orig[i] = randomDomain(r)
-				sys.dom[id] = orig[i]
+				sys.storeSig(id, orig[i])
 			}
 			z, _ := c.NetByName("z")
 			origOut := randomDomain(r)
-			sys.dom[z] = origOut
+			sys.storeSig(z, origOut)
 			sys.ScheduleAll()
 			sys.Fixpoint()
 
@@ -132,17 +132,17 @@ func TestGateProjectionSoundness(t *testing.T) {
 					}
 					// Consistent scenario: must survive narrowing.
 					for j := range vals {
-						if !sys.dom[inIDs[j]].Wave(vals[j]).Contains(ls[j]) {
+						if !sys.wave(inIDs[j], vals[j]).Contains(ls[j]) {
 							t.Errorf("%s/%d d=%s: scenario vals=%v ls=%v outL=%s lost input %d\n  orig in=%v out=%v\n  new in=%v out=%v",
 								tc.gt, tc.k, d, vals, ls, lo, j, orig, origOut,
-								domains(sys, inIDs), sys.dom[z])
+								domains(sys, inIDs), sys.sig(z))
 							return
 						}
 					}
-					if !sys.dom[z].Wave(outV).Contains(lo) {
+					if !sys.wave(z, outV).Contains(lo) {
 						t.Errorf("%s/%d d=%s: scenario vals=%v ls=%v lost output L=%s (class %d)\n  orig in=%v out=%v\n  new in=%v out=%v",
 							tc.gt, tc.k, d, vals, ls, lo, outV, orig, origOut,
-							domains(sys, inIDs), sys.dom[z])
+							domains(sys, inIDs), sys.sig(z))
 					}
 					return
 				}

@@ -13,12 +13,25 @@ import (
 	"repro/internal/waveform"
 )
 
+// lanes is the number of int64 domain lanes per net in the flat
+// structure-of-arrays store: [4n+0]=W0.Lmin, [4n+1]=W0.Lmax,
+// [4n+2]=W1.Lmin, [4n+3]=W1.Lmax.
+const lanes = 4
+
 // System is the constraint system associated with a timing check. It
 // owns one Signal domain per net and re-evaluates gate constraints
 // event-driven until the greatest fixpoint is reached.
 type System struct {
-	c   *circuit.Circuit
-	dom []waveform.Signal
+	c *circuit.Circuit
+
+	// dom is the flat structure-of-arrays domain store (lanes int64
+	// values per net; see the lanes constant for the layout). The
+	// projection kernels load and store lanes directly, the trail
+	// records (lane index, old value) pairs, and a fixpoint snapshot
+	// is a single flat copy — see Snapshot/Restore. The array must
+	// never be aliased outside this package (the soaalias lint pass
+	// enforces it).
+	dom []int64
 
 	// queue with qhead form a head-index ring: pops advance qhead
 	// instead of re-slicing the front, so the backing array is reused
@@ -36,6 +49,7 @@ type System struct {
 	scrNon  []waveform.Wave
 	scrIn   []waveform.Signal
 	scrPar  [][2]waveform.Wave
+	scrQual []bool
 
 	trace func(n circuit.NetID, old, new waveform.Signal)
 
@@ -72,24 +86,64 @@ const stopPollInterval = 256
 func New(c *circuit.Circuit) *System {
 	s := &System{
 		c:        c,
-		dom:      make([]waveform.Signal, c.NumNets()),
+		dom:      make([]int64, lanes*c.NumNets()),
 		inQueue:  make([]bool, c.NumGates()),
 		emptyNet: circuit.InvalidNet,
 	}
-	for i := range s.dom {
-		s.dom[i] = waveform.FullSignal
-	}
-	for _, pi := range c.PrimaryInputs() {
-		s.dom[pi] = waveform.FloatingInput
-	}
+	s.initDomains()
 	return s
+}
+
+// initDomains writes the paper's initial domains straight into the
+// lanes, bypassing the trail.
+func (s *System) initDomains() {
+	for n := 0; n < s.c.NumNets(); n++ {
+		s.storeSig(circuit.NetID(n), waveform.FullSignal)
+	}
+	for _, pi := range s.c.PrimaryInputs() {
+		s.storeSig(pi, waveform.FloatingInput)
+	}
+}
+
+// sig loads the four lanes of net n as a Signal value.
+func (s *System) sig(n circuit.NetID) waveform.Signal {
+	base := lanes * int(n)
+	return waveform.Signal{
+		W0: waveform.Wave{Lmin: waveform.Time(s.dom[base]), Lmax: waveform.Time(s.dom[base+1])},
+		W1: waveform.Wave{Lmin: waveform.Time(s.dom[base+2]), Lmax: waveform.Time(s.dom[base+3])},
+	}
+}
+
+// wave loads the two lanes of net n's class-v wave.
+func (s *System) wave(n circuit.NetID, v int) waveform.Wave {
+	base := lanes*int(n) + 2*v
+	return waveform.Wave{Lmin: waveform.Time(s.dom[base]), Lmax: waveform.Time(s.dom[base+1])}
+}
+
+// storeSig overwrites net n's lanes without touching the trail — for
+// initialisation, snapshot restore, and in-package tests only.
+func (s *System) storeSig(n circuit.NetID, sig waveform.Signal) {
+	base := lanes * int(n)
+	s.dom[base] = int64(sig.W0.Lmin)
+	s.dom[base+1] = int64(sig.W0.Lmax)
+	s.dom[base+2] = int64(sig.W1.Lmin)
+	s.dom[base+3] = int64(sig.W1.Lmax)
+}
+
+// setLane stores v into lane i, recording the old value on the trail
+// when it actually changes.
+func (s *System) setLane(i int, v int64) {
+	if old := s.dom[i]; old != v {
+		s.trail.save(int32(i), old)
+		s.dom[i] = v
+	}
 }
 
 // Circuit returns the underlying netlist.
 func (s *System) Circuit() *circuit.Circuit { return s.c }
 
 // Domain returns the current domain of net n.
-func (s *System) Domain(n circuit.NetID) waveform.Signal { return s.dom[n] }
+func (s *System) Domain(n circuit.NetID) waveform.Signal { return s.sig(n) }
 
 // Inconsistent reports whether some net's domain has become (φ, φ); in
 // that state the timing check has no solution (Theorem 2 generalised to
@@ -184,15 +238,19 @@ func (s *System) SetTraceFunc(f func(n circuit.NetID, old, new waveform.Signal))
 // whether the domain changed. Narrowing to (φ, φ) marks the system
 // inconsistent.
 func (s *System) Narrow(n circuit.NetID, sig waveform.Signal) bool {
-	nd := s.dom[n].Intersect(sig).Canon()
-	if nd.Equal(s.dom[n]) {
+	cur := s.sig(n)
+	nd := cur.Intersect(sig).Canon()
+	if nd.Equal(cur) {
 		return false
 	}
-	s.trail.save(n, s.dom[n])
 	if s.trace != nil {
-		s.trace(n, s.dom[n], nd)
+		s.trace(n, cur, nd)
 	}
-	s.dom[n] = nd
+	base := lanes * int(n)
+	s.setLane(base, int64(nd.W0.Lmin))
+	s.setLane(base+1, int64(nd.W0.Lmax))
+	s.setLane(base+2, int64(nd.W1.Lmin))
+	s.setLane(base+3, int64(nd.W1.Lmax))
 	s.Narrowings++
 	if nd.IsEmpty() && !s.inconsistent {
 		s.inconsistent = true
@@ -321,9 +379,15 @@ func (s *System) Mark() { s.trail.mark() }
 // Undo rewinds domains to the most recent mark, clearing any
 // inconsistency and pending events.
 func (s *System) Undo() {
-	s.trail.undo(func(n circuit.NetID, old waveform.Signal) {
-		s.dom[n] = old
-	})
+	if n := len(s.trail.marks); n > 0 {
+		base := s.trail.marks[n-1]
+		s.trail.marks = s.trail.marks[:n-1]
+		for i := len(s.trail.idx) - 1; i >= base; i-- {
+			s.dom[s.trail.idx[i]] = s.trail.old[i]
+		}
+		s.trail.idx = s.trail.idx[:base]
+		s.trail.old = s.trail.old[:base]
+	}
 	s.inconsistent = false
 	s.emptyNet = circuit.InvalidNet
 	for _, g := range s.queue[s.qhead:] {
@@ -335,6 +399,60 @@ func (s *System) Undo() {
 // Levels returns the number of open decision levels.
 func (s *System) Levels() int { return len(s.trail.marks) }
 
+// Snapshot appends a copy of every domain lane onto buf[:0] and
+// returns the filled buffer, so a caller-owned snapshot buffer is
+// reused across calls without allocating. Taken at a plain fixpoint,
+// the copy is exactly the seed a warm-started re-solve of the same
+// sink at a larger δ needs (see Restore and DESIGN.md §14). The
+// returned slice never aliases the system's own storage.
+func (s *System) Snapshot(buf []int64) []int64 {
+	return append(buf[:0], s.dom...)
+}
+
+// Restore overwrites every domain lane from a snapshot taken on a
+// system of the same circuit (the snapshot is copied, not aliased) and
+// clears all per-run state: trail, worklist, inconsistency, stop and
+// trace hooks, and statistics counters. Together with Snapshot it lets
+// a sweep driver reuse one System — and all of its arena allocations —
+// across many checks.
+func (s *System) Restore(snap []int64) {
+	if len(snap) != len(s.dom) {
+		panic(fmt.Sprintf("constraint: Restore snapshot has %d lanes, system has %d", len(snap), len(s.dom)))
+	}
+	copy(s.dom, snap)
+	s.resetRunState()
+}
+
+// Reset returns the system to its initial state — the paper's initial
+// domains with all per-run state cleared — reusing every backing
+// array. A freshly Reset system is indistinguishable from New(c).
+func (s *System) Reset() {
+	s.initDomains()
+	s.resetRunState()
+}
+
+// resetRunState clears everything a check accumulates: the trail and
+// its marks, the worklist, inconsistency, the stop/trace hooks, and
+// the statistics counters. Backing arrays are kept.
+func (s *System) resetRunState() {
+	s.trail.idx = s.trail.idx[:0]
+	s.trail.old = s.trail.old[:0]
+	s.trail.marks = s.trail.marks[:0]
+	for _, g := range s.queue[s.qhead:] {
+		s.inQueue[g] = false
+	}
+	s.queue, s.qhead = s.queue[:0], 0
+	s.inconsistent = false
+	s.emptyNet = circuit.InvalidNet
+	s.stopFn = nil
+	s.sincePoll = 0
+	s.stopped = false
+	s.trace = nil
+	s.Propagations = 0
+	s.Narrowings = 0
+	s.queueHighWater = 0
+}
+
 // String summarises the system state (for debugging and error text).
 func (s *System) String() string {
 	st := "consistent"
@@ -345,33 +463,27 @@ func (s *System) String() string {
 		s.c.NumNets(), s.c.NumGates(), st, s.Propagations)
 }
 
-// trail is the selective state store: old domain values with level
-// marks, replayed backwards on Undo.
+// trail is the selective state store: a reusable arena of (lane index,
+// old value) pairs with level marks. Undo replays a level backwards
+// and re-slices the arena; capacity survives across levels and — via
+// Reset/Restore — across checks, so steady-state mark/narrow/undo
+// cycles never allocate.
 type trail struct {
-	nets  []circuit.NetID
-	vals  []waveform.Signal
+	idx   []int32
+	old   []int64
 	marks []int
 }
 
-func (t *trail) mark() { t.marks = append(t.marks, len(t.nets)) }
+func (t *trail) mark() { t.marks = append(t.marks, len(t.idx)) }
 
-func (t *trail) save(n circuit.NetID, old waveform.Signal) {
+func (t *trail) save(i int32, old int64) {
 	if len(t.marks) == 0 {
 		return // no open level: nothing to restore to
 	}
-	t.nets = append(t.nets, n)
-	t.vals = append(t.vals, old)
+	t.idx = append(t.idx, i)
+	t.old = append(t.old, old)
 }
 
-func (t *trail) undo(restore func(circuit.NetID, waveform.Signal)) {
-	if len(t.marks) == 0 {
-		return
-	}
-	base := t.marks[len(t.marks)-1]
-	t.marks = t.marks[:len(t.marks)-1]
-	for i := len(t.nets) - 1; i >= base; i-- {
-		restore(t.nets[i], t.vals[i])
-	}
-	t.nets = t.nets[:base]
-	t.vals = t.vals[:base]
-}
+// len reports the number of saved lane entries (for the trail-growth
+// regression tests).
+func (t *trail) len() int { return len(t.idx) }

@@ -60,18 +60,18 @@ func TestExample1(t *testing.T) {
 	s := New(c)
 	ni, nj, ns := id(t, c, "i"), id(t, c, "j"), id(t, c, "s")
 	// Override the floating-input defaults with the example's domains.
-	s.dom[ni] = waveform.Signal{
+	s.storeSig(ni, waveform.Signal{
 		W0: waveform.Wave{Lmin: waveform.NegInf, Lmax: 33},
 		W1: waveform.Wave{Lmin: 50, Lmax: 100},
-	}
-	s.dom[nj] = waveform.Signal{
+	})
+	s.storeSig(nj, waveform.Signal{
 		W0: waveform.Wave{Lmin: 25, Lmax: 75},
 		W1: waveform.Empty,
-	}
-	s.dom[ns] = waveform.Signal{
+	})
+	s.storeSig(ns, waveform.Signal{
 		W0: waveform.Wave{Lmin: 35, Lmax: 125},
 		W1: waveform.Empty,
-	}
+	})
 	s.ScheduleAll()
 	if !s.Fixpoint() {
 		t.Fatal("example 1 must stay consistent")

@@ -39,6 +39,17 @@ func (v *Verifier) caseAnalysis(rs *runState, sys *constraint.System, sink circu
 	var stack []decision
 	rep.Backtracks = 0
 
+	// unwind closes every decision level still open. Exhausted searches
+	// unwind through backtrack() naturally, but witness/abandon/cancel
+	// exits used to return with the whole stack's marks open — a trail
+	// leak now that warm-start keeps the system alive across checks.
+	unwind := func() {
+		for range stack {
+			sys.Undo()
+		}
+		stack = stack[:0]
+	}
+
 	backtrack := func() bool {
 		for len(stack) > 0 {
 			top := &stack[len(stack)-1]
@@ -74,9 +85,11 @@ func (v *Verifier) caseAnalysis(rs *runState, sys *constraint.System, sink circu
 	for {
 		switch res := v.evaluate(rs, sys, sink, delta, rep); res {
 		case Cancelled, Abandoned:
+			unwind()
 			return res
 		case NoViolation:
 			if res, done := conflict(); done {
+				unwind()
 				return res
 			}
 			continue
@@ -90,10 +103,12 @@ func (v *Verifier) caseAnalysis(rs *runState, sys *constraint.System, sink circu
 			if err == nil && r.Settle[sink] >= delta {
 				rep.Witness = vec
 				rep.WitnessSettle = r.Settle[sink]
+				unwind() // after extraction: the vector needs the decided domains
 				return ViolationFound
 			}
 			// Local consistency was too optimistic: treat as conflict.
 			if res, done := conflict(); done {
+				unwind()
 				return res
 			}
 			continue

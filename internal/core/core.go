@@ -93,6 +93,19 @@ type Options struct {
 	// original-circuit ids. On by default in Default(); the front ends
 	// expose -no-cone as the escape hatch.
 	UseConeSlicing bool
+	// UseWarmStart seeds each check's stage-1 solve from the most
+	// recent plain fixpoint recorded for the same sink at a smaller or
+	// equal δ, instead of starting from ⊤. Sound because the check
+	// output constraint shrinks as δ grows, so the old fixpoint
+	// sandwiched with the new sink constraint still contains the new
+	// greatest fixpoint (DESIGN.md §14). The fixpoint reached is
+	// canonical, so verdicts, stages, and witnesses are bit-identical
+	// to a cold solve; only statistics (propagation counts, stage
+	// times) change. Falls back to a cold solve when no seed exists,
+	// δ decreased, UseStaticDominators is on, or another goroutine
+	// holds the sink's memo. On by default in Default(); the front
+	// ends expose -no-warm-start.
+	UseWarmStart bool
 	// MaxBacktracks bounds the case analysis; beyond it the check is
 	// Abandoned.
 	MaxBacktracks int
@@ -109,6 +122,7 @@ func Default() Options {
 		UseLearning:        true,
 		UseStemCorrelation: true,
 		UseConeSlicing:     true,
+		UseWarmStart:       true,
 		MaxBacktracks:      200000,
 		MaxStemSplits:      64,
 	}
@@ -129,6 +143,9 @@ type Verifier struct {
 
 	coneMu sync.Mutex
 	cones  map[circuit.NetID]*coneVerifier
+
+	warmMu sync.Mutex
+	warm   map[circuit.NetID]*warmState // per-sink warm-start memos
 }
 
 // NewVerifier prepares a verifier for the circuit (computing arrival

@@ -66,6 +66,12 @@ type Request struct {
 	// with a pprof label ("ltta_po" = output name) so CPU profiles
 	// attribute time to individual checks.
 	PprofLabels bool
+
+	// Arena, when non-nil, backs the returned reports with
+	// caller-owned reusable storage; see ReportArena for the ownership
+	// contract. nil (the default) allocates fresh reports the caller
+	// owns outright.
+	Arena *ReportArena
 }
 
 // runState threads the per-check cancellation, budget, and tracing
@@ -96,8 +102,8 @@ func resolveBudget(req, opt int) int {
 	return opt
 }
 
-func (v *Verifier) newRunState(ctx context.Context, req *Request) *runState {
-	rs := &runState{
+func (v *Verifier) initRunState(rs *runState, ctx context.Context, req *Request) {
+	*rs = runState{
 		maxBack:   resolveBudget(req.Budgets.MaxBacktracks, v.opts.MaxBacktracks),
 		maxSplits: resolveBudget(req.Budgets.MaxStemSplits, v.opts.MaxStemSplits),
 		tracer:    req.Tracer,
@@ -112,7 +118,6 @@ func (v *Verifier) newRunState(ctx context.Context, req *Request) *runState {
 		rs.deadline = req.Deadline
 		rs.hasDeadline = true
 	}
-	return rs
 }
 
 // attach installs the stop poll on the constraint system when the
@@ -186,6 +191,16 @@ func (rs *runState) stoppedNow() bool {
 // back to original-circuit ids; see runCone. Sinks whose cone spans
 // the whole circuit solve on the original system directly.
 func (v *Verifier) Run(ctx context.Context, req Request) *Report {
+	if req.Arena != nil {
+		req.Arena.begin()
+	}
+	return v.dispatch(ctx, req)
+}
+
+// dispatch routes the check to its cone sub-verifier or the
+// whole-circuit solver without restarting the request's arena — the
+// serial sweep calls it once per output inside a single arena cycle.
+func (v *Verifier) dispatch(ctx context.Context, req Request) *Report {
 	if v.opts.UseConeSlicing && v.prep != nil {
 		if cv := v.coneFor(req.Sink); cv != nil {
 			return v.runCone(ctx, req, cv)
@@ -201,8 +216,17 @@ func (v *Verifier) run(ctx context.Context, req Request) *Report {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rs := v.newRunState(ctx, &req)
-	rep := &Report{
+	var rs *runState
+	var rep *Report
+	if req.Arena != nil {
+		rs = &req.Arena.rs
+		rep = req.Arena.report()
+	} else {
+		rs = new(runState)
+		rep = new(Report)
+	}
+	v.initRunState(rs, ctx, &req)
+	*rep = Report{
 		Sink: req.Sink, Delta: req.Delta,
 		AfterGITD: StageSkipped, AfterStem: StageSkipped, CaseAnalysis: StageSkipped,
 		Backtracks: -1,
@@ -230,13 +254,50 @@ func (v *Verifier) run(ctx context.Context, req Request) *Report {
 		return finish(nil, Cancelled)
 	}
 
-	sys := constraint.New(v.c)
-	rs.attach(sys)
-	sys.Narrow(req.Sink, waveform.CheckOutput(req.Delta))
-	sys.ScheduleAll()
-	if v.opts.UseStaticDominators {
-		doms := dom.Static(v.c, v.analysis, req.Sink, req.Delta)
-		dom.NarrowDominators(sys, doms, req.Delta)
+	// Warm-start: try the sink's memo (see warm.go). Static dominators
+	// narrow δ-specific state before the fixpoint, which would poison a
+	// seed recorded for a different δ, so they force the cold path.
+	// TryLock keeps concurrent same-sink checks independent: the loser
+	// solves cold and leaves the memo alone.
+	var ws *warmState
+	if v.opts.UseWarmStart && !v.opts.UseStaticDominators {
+		if w := v.warmFor(req.Sink); w.mu.TryLock() {
+			ws = w
+			defer ws.mu.Unlock()
+		}
+	}
+
+	var sys *constraint.System
+	warmRefuted := false
+	switch {
+	case ws != nil && ws.inconsValid && req.Delta >= ws.inconsDelta:
+		// A stage-1 refutation at a smaller δ refutes this δ outright.
+		warmRefuted = true
+	case ws != nil && ws.snapValid && req.Delta >= ws.snapDelta:
+		// Seed from the adjacent fixpoint: the snapshot is already a
+		// fixpoint, so narrowing the sink re-schedules only its
+		// adjacent constraints and propagation resumes from there.
+		sys = ws.system(v.c)
+		sys.Restore(ws.snap)
+		rs.attach(sys)
+		sys.Narrow(req.Sink, waveform.CheckOutput(req.Delta))
+	default:
+		// Cold solve (no seed, δ moved backwards, or warm-start off).
+		// A memo holder still reuses the memo's system — Reset keeps
+		// the arena allocations — so the sweep stays allocation-free.
+		if ws != nil {
+			sys = ws.system(v.c)
+			sys.Reset()
+		} else {
+			sys = constraint.New(v.c)
+		}
+		rs.attach(sys)
+		sys.Narrow(req.Sink, waveform.CheckOutput(req.Delta))
+		sys.ScheduleAll()
+		if v.opts.UseStaticDominators {
+			doms := dom.Static(v.c, v.analysis, req.Sink, req.Delta)
+			dom.NarrowDominators(sys, doms, req.Delta)
+		}
 	}
 
 	// stage brackets a pipeline stage with tracing and timing.
@@ -254,13 +315,24 @@ func (v *Verifier) run(ctx context.Context, req Request) *Report {
 		return res
 	}
 
-	// Stage 1: plain constraint evaluation.
+	// Stage 1: plain constraint evaluation. A completed fixpoint (or
+	// refutation) feeds the sink's memo for the next δ; an interrupted
+	// solve records nothing.
 	res := stage(StagePlain, func() Result {
+		if warmRefuted {
+			return NoViolation
+		}
 		if !sys.Fixpoint() {
+			if ws != nil {
+				ws.noteRefuted(req.Delta)
+			}
 			return NoViolation
 		}
 		if sys.Stopped() {
 			return rs.stopVerdict()
+		}
+		if ws != nil {
+			ws.noteFixpoint(sys, req.Delta)
 		}
 		return PossibleViolation
 	})
@@ -324,22 +396,38 @@ func (v *Verifier) RunAll(ctx context.Context, req Request) *CircuitReport {
 		workers = len(pos)
 	}
 	if workers <= 1 {
+		if req.Arena != nil {
+			req.Arena.begin()
+		}
 		return v.runAllSerial(ctx, req)
 	}
+	// Parallel checks cannot share one arena; allocate as if none were
+	// passed (see ReportArena).
+	req.Arena = nil
 	return v.runAllParallel(ctx, req, workers)
 }
 
 func (v *Verifier) runAllSerial(ctx context.Context, req Request) *CircuitReport {
 	pos := v.c.PrimaryOutputs()
+	a := req.Arena
 	var reports []*Report
+	if a != nil {
+		reports = a.sweep[:0]
+	}
 	for _, po := range pos {
 		r := req
 		r.Sink = po
-		rep := v.Run(ctx, r)
+		rep := v.dispatch(ctx, r)
 		reports = append(reports, rep)
 		if rep.Final == ViolationFound || rep.Final == Cancelled {
 			break // a single witness decides the circuit check
 		}
+	}
+	if a != nil {
+		a.sweep = reports
+		cr := aggregateCircuit(&a.cr, a.perOut, req.Delta, reports)
+		a.perOut = cr.PerOutput
+		return cr
 	}
 	return AggregateCircuit(req.Delta, reports)
 }
@@ -433,9 +521,17 @@ func (v *Verifier) runAllParallel(ctx context.Context, req Request, workers int)
 // aggregate still reports the first witnessing output and sums the
 // counters over everything that ran.
 func AggregateCircuit(delta waveform.Time, reports []*Report) *CircuitReport {
-	cr := &CircuitReport{Delta: delta, WitnessOutput: -1,
+	return aggregateCircuit(new(CircuitReport), nil, delta, reports)
+}
+
+// aggregateCircuit is AggregateCircuit into caller-provided storage:
+// cr is overwritten and perOut[:0] becomes its PerOutput backing (nil
+// allocates normally).
+func aggregateCircuit(cr *CircuitReport, perOut []*Report, delta waveform.Time, reports []*Report) *CircuitReport {
+	*cr = CircuitReport{Delta: delta, WitnessOutput: -1,
 		BeforeGITD: NoViolation, AfterGITD: StageSkipped, AfterStem: StageSkipped,
-		CaseAnalysis: StageSkipped, Final: NoViolation}
+		CaseAnalysis: StageSkipped, Final: NoViolation,
+		PerOutput: perOut[:0]}
 	anyAbandoned := false
 	anyCancelled := false
 	caRan := false

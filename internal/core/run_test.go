@@ -28,6 +28,10 @@ func hardCase(t testing.TB) (*Verifier, circuit.NetID, waveform.Time) {
 	v := NewVerifier(c, opts)
 	pos := c.PrimaryOutputs()
 	po := pos[len(pos)-1]
+	// Build the sink's cone slice up front: first-call cone
+	// construction costs ~10ms under -race, which would eat a short
+	// deadline before the solve these tests are cancelling even starts.
+	v.coneFor(po)
 	return v, po, v.analysis.Arrival(po).Sub(60)
 }
 
@@ -119,17 +123,21 @@ func TestRunBacktrackBudgetViaRequest(t *testing.T) {
 
 // TestRunMatchesCheck pins the compatibility wrappers to the Run path:
 // identical verdicts, counters, and witnesses on the Figure-1 circuit.
+// Each arm gets a fresh verifier off the shared Prepared because the
+// comparison includes work counters, which warm-start memos (scoped per
+// verifier) legitimately reduce on repeat checks of the same sink.
 func TestRunMatchesCheck(t *testing.T) {
 	c := gen.Hrapcenko(10)
 	s, _ := c.NetByName("s")
-	v := NewVerifier(c, Default())
+	prep := Prepare(c)
 	for _, delta := range []waveform.Time{61, 60} {
-		direct := v.Run(context.Background(), Request{Sink: s, Delta: delta})
-		wrapped := v.Check(s, delta)
+		direct := prep.NewVerifier(Default()).Run(context.Background(), Request{Sink: s, Delta: delta})
+		wrapped := prep.NewVerifier(Default()).Check(s, delta)
 		if canonicalReport(direct) != canonicalReport(wrapped) {
 			t.Fatalf("δ=%s:\n run:   %s\n check: %s", delta, canonicalReport(direct), canonicalReport(wrapped))
 		}
 	}
+	v := prep.NewVerifier(Default())
 	if got := v.Run(context.Background(), Request{Sink: s, Delta: 61, VerifyOnly: true}).Final; got != NoViolation {
 		t.Fatalf("VerifyOnly Run(61) = %s", got)
 	}
@@ -179,12 +187,16 @@ func TestRunAllParallelIdenticalToSerial(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			v := NewVerifier(tc.c, Default())
+			// Fresh verifier per sweep, sharing one Prepared: the
+			// canonical strings include work counters, which a reused
+			// verifier's warm-start memos legitimately shrink.
+			prep := Prepare(tc.c)
+			v := prep.NewVerifier(Default())
 			delta := tc.delta(v)
 			serial := canonicalCircuit(v.RunAll(context.Background(), Request{Delta: delta, Workers: 1}))
 			for _, workers := range []int{0, 2, 4} {
 				for rep := 0; rep < 3; rep++ {
-					par := canonicalCircuit(v.RunAll(context.Background(), Request{Delta: delta, Workers: workers}))
+					par := canonicalCircuit(prep.NewVerifier(Default()).RunAll(context.Background(), Request{Delta: delta, Workers: workers}))
 					if par != serial {
 						t.Fatalf("workers=%d differs from serial:\nserial:\n%s\nparallel:\n%s", workers, serial, par)
 					}
@@ -212,15 +224,17 @@ func suiteCircuit(t *testing.T, name string) *circuit.Circuit {
 func TestNilTracerVsStatsTracerEquivalence(t *testing.T) {
 	for _, name := range []string{"c17", "c432", "c880"} {
 		c := suiteCircuit(t, name)
-		v := NewVerifier(c, Default())
-		res, err := v.CircuitFloatingDelay()
+		prep := Prepare(c)
+		res, err := prep.NewVerifier(Default()).CircuitFloatingDelay()
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, delta := range []waveform.Time{res.Delay.Add(1), res.Delay} {
-			plain := v.RunAll(context.Background(), Request{Delta: delta, Workers: 1})
+			// Fresh verifier per arm: warm-start memos are per verifier
+			// and the comparison includes work counters.
+			plain := prep.NewVerifier(Default()).RunAll(context.Background(), Request{Delta: delta, Workers: 1})
 			st := new(StatsTracer)
-			traced := v.RunAll(context.Background(), Request{Delta: delta, Workers: 1, Tracer: st})
+			traced := prep.NewVerifier(Default()).RunAll(context.Background(), Request{Delta: delta, Workers: 1, Tracer: st})
 			if canonicalCircuit(plain) != canonicalCircuit(traced) {
 				t.Fatalf("%s δ=%s: tracer changed results:\n%s\nvs\n%s",
 					name, delta, canonicalCircuit(plain), canonicalCircuit(traced))
@@ -250,8 +264,11 @@ func TestNilTracerVsStatsTracerEquivalence(t *testing.T) {
 // kept per-output reports, serial and parallel alike.
 func TestCircuitReportSumsWork(t *testing.T) {
 	c := suiteCircuit(t, "c432")
-	v := NewVerifier(c, Default())
+	prep := Prepare(c)
 	for _, workers := range []int{1, 4} {
+		// Fresh verifier per sweep so the second isn't a warm-start
+		// no-op (the props>0 assertion needs real stage-1 work).
+		v := prep.NewVerifier(Default())
 		cr := v.RunAll(context.Background(), Request{Delta: v.Topological().Add(1), Workers: workers})
 		var props int64
 		var doms, rounds int

@@ -17,7 +17,11 @@ import (
 // exactly once, no event lost or double-counted under concurrency.
 func TestTracerSharedAcrossWorkers(t *testing.T) {
 	c := gen.Industrial(7, 24, 10)
-	v := core.NewVerifier(c, core.Default())
+	// Fresh verifier per sweep off one Prepared: the test compares
+	// exact propagation sums, which the second sweep's warm-start memos
+	// would otherwise legitimately shrink.
+	prep := core.Prepare(c)
+	v := prep.NewVerifier(core.Default())
 	// δ = topological + 1: every output refutes, so neither sweep
 	// early-exits and serial/parallel run identical check sets.
 	delta := v.Topological().Add(1)
@@ -29,7 +33,7 @@ func TestTracerSharedAcrossWorkers(t *testing.T) {
 	}
 
 	tr := obs.NewTracer()
-	par := v.RunAll(context.Background(), core.Request{Delta: delta, Workers: 4, Tracer: tr})
+	par := prep.NewVerifier(core.Default()).RunAll(context.Background(), core.Request{Delta: delta, Workers: 4, Tracer: tr})
 	if par.Final != serial.Final {
 		t.Fatalf("parallel verdict %s != serial %s", par.Final, serial.Final)
 	}
