@@ -13,12 +13,24 @@
 // beyond; entries pinned by running batches are never freed under
 // them, see DESIGN.md §13).
 //
+// With -coordinator the daemon runs no checks itself: it shards each
+// batch by (circuit, sink) rendezvous hashing over the listed worker
+// daemons, uploads circuits to workers on demand, merges the per-shard
+// NDJSON streams into one client-facing stream, requeues the checks of
+// a failed worker onto survivors, and hedges stragglers after
+// -hedge-after (see DESIGN.md §15 and the README's Clustering
+// section). The wire protocol is identical either way — clients cannot
+// tell a coordinator from a single daemon except by the placement
+// metadata stamped on results.
+//
 // Usage:
 //
 //	lttad [-addr :8090] [-workers N] [-queue N]
 //	      [-check-timeout D] [-batch-timeout D] [-drain-timeout D]
 //	      [-max-body BYTES] [-max-checks N] [-debug-addr A]
 //	      [-registry-size N] [-registry-bytes BYTES]
+//	lttad -coordinator host1:8090,host2:8090,host3:8090
+//	      [-hedge-after D] [-max-attempts N] [-probe-interval D] ...
 //
 // Overload and lifecycle semantics (see DESIGN.md §10):
 //
@@ -49,6 +61,7 @@ import (
 	_ "net/http/pprof" // register /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +84,10 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "write a trace_event timeline per batch to this directory")
 	registrySize := flag.Int("registry-size", 0, "circuit-registry capacity in circuits (0 = default 128)")
 	registryBytes := flag.Int64("registry-bytes", 0, "circuit-registry resident-byte cap (0 = default 1 GiB, negative = unlimited)")
+	coordinator := flag.String("coordinator", "", "run as a cluster coordinator over this comma-separated worker list (addr[,addr...]) instead of executing checks")
+	hedgeAfter := flag.Duration("hedge-after", 2*time.Second, "coordinator: hedge straggling checks onto a second worker after this long (negative = never)")
+	maxAttempts := flag.Int("max-attempts", 3, "coordinator: dispatch attempts per check across requeues and hedges")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "coordinator: worker /readyz probe period (negative = on-demand only)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -86,19 +103,40 @@ func main() {
 	}
 
 	ctx := context.Background()
-	s := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		MaxBodyBytes: *maxBody,
-		MaxChecks:    *maxChecks,
-		CheckTimeout: *checkTimeout,
-		BatchTimeout: *batchTimeout,
-		Logger:       logger,
-		TraceDir:     *traceDir,
+	// Both roles share the wire protocol and the drain lifecycle; the
+	// coordinator just delegates the checks to its workers.
+	var s interface {
+		http.Handler
+		BeginDrain()
+		Shutdown(context.Context) error
+	}
+	if *coordinator != "" {
+		s = server.NewCoordinator(server.CoordConfig{
+			Workers:             strings.Split(*coordinator, ","),
+			QueueDepth:          *queue,
+			MaxBodyBytes:        *maxBody,
+			MaxChecks:           *maxChecks,
+			HedgeAfter:          *hedgeAfter,
+			MaxAttempts:         *maxAttempts,
+			ProbeInterval:       *probeInterval,
+			RegistryMaxCircuits: *registrySize,
+			Logger:              logger,
+		})
+	} else {
+		s = server.New(server.Config{
+			Workers:      *workers,
+			QueueDepth:   *queue,
+			MaxBodyBytes: *maxBody,
+			MaxChecks:    *maxChecks,
+			CheckTimeout: *checkTimeout,
+			BatchTimeout: *batchTimeout,
+			Logger:       logger,
+			TraceDir:     *traceDir,
 
-		RegistryMaxCircuits: *registrySize,
-		RegistryMaxBytes:    *registryBytes,
-	})
+			RegistryMaxCircuits: *registrySize,
+			RegistryMaxBytes:    *registryBytes,
+		})
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 
 	if *debugAddr != "" {

@@ -145,6 +145,31 @@ type Request struct {
 	// Stream requests an NDJSON response: one Event per line as results
 	// become available, instead of a single Response document.
 	Stream bool `json:"stream,omitempty"`
+
+	// Shard is stamped by a coordinator on the per-worker requests it
+	// fans a batch out into: which coordinator batch this shard serves,
+	// which worker it was aimed at, and which dispatch attempt it is.
+	// Workers log it (so a cluster-wide batch can be traced across
+	// daemons) and otherwise ignore it; plain clients leave it nil.
+	Shard *ShardInfo `json:"shard,omitempty"`
+}
+
+// ShardInfo identifies one coordinator→worker dispatch of a sharded
+// batch. Attempt counts dispatches of the same checks (1 = the primary
+// placement; higher = a requeue after a worker failure, or — with
+// Hedge set — a latency hedge racing the primary).
+type ShardInfo struct {
+	// Coordinator is the dispatching coordinator's instance name.
+	Coordinator string `json:"coordinator,omitempty"`
+	// Batch is the coordinator-side batch id the shard belongs to.
+	Batch int64 `json:"batch,omitempty"`
+	// Worker is the worker address this shard was routed to.
+	Worker string `json:"worker,omitempty"`
+	// Attempt is the dispatch attempt for these checks (1 = primary).
+	Attempt int `json:"attempt,omitempty"`
+	// Hedge marks a straggler hedge: the primary dispatch is still
+	// running and the first terminal result per check wins.
+	Hedge bool `json:"hedge,omitempty"`
 }
 
 // DelayAnnotation overrides the delay of the gate driving one net,
@@ -249,6 +274,14 @@ type CheckResult struct {
 	// Error reports a panic-isolated worker failure; the check carries
 	// the sound verdict A (the engine gave up) and the batch continues.
 	Error string `json:"error,omitempty"`
+
+	// Worker and Attempt are placement metadata stamped by a
+	// coordinator when it merges sharded results: the worker address
+	// that produced this result and the dispatch attempt that won
+	// (1 = primary, >1 = a requeue or hedge). Single-daemon responses
+	// leave them zero; verdicts and statistics never depend on them.
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
 }
 
 // SweepResult aggregates one δ of a sweep, mirroring

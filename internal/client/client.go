@@ -10,9 +10,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -275,10 +278,73 @@ func (c *Client) Stream(ctx context.Context, req api.Request, fn func(api.Event)
 	return drainEvents(resp, fn)
 }
 
+// TruncatedStreamError reports an NDJSON result stream that ended
+// before its terminal "done" event: the connection was cut mid-batch
+// (worker death, proxy reset, response abort). It is retryable — the
+// server never completed the batch from the client's point of view, so
+// resubmitting (or requeueing the unfinished checks elsewhere) is the
+// correct recovery. Events counts the events that did arrive; Err is
+// the transport error, nil when the stream ended with a clean EOF that
+// merely lacked the "done" line.
+type TruncatedStreamError struct {
+	// Events is how many events arrived before the cut.
+	Events int
+	// Err is the underlying read error, if the transport surfaced one.
+	Err error
+}
+
+func (e *TruncatedStreamError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("client: result stream cut after %d events: %v", e.Events, e.Err)
+	}
+	return fmt.Sprintf("client: result stream ended after %d events without a done event", e.Events)
+}
+
+func (e *TruncatedStreamError) Unwrap() error { return e.Err }
+
+// Temporary marks the truncation retryable, matching APIError's
+// convention for backpressure answers.
+func (e *TruncatedStreamError) Temporary() bool { return true }
+
+// Retryable reports whether err is worth retrying against the same or
+// another server: backpressure (429/503), a truncated result stream,
+// or a transport-level failure (dial refused, connection reset). A
+// structured 4xx — a malformed request — is not retryable, and neither
+// is a context cancellation: the caller withdrew the question.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	var trunc *TruncatedStreamError
+	if errors.As(err, &trunc) {
+		return true
+	}
+	var netErr *url.Error
+	if errors.As(err, &netErr) {
+		return true
+	}
+	// Mid-body transport failures (http: unexpected EOF and friends)
+	// reach here undecorated; a decode failure of a complete body does
+	// not (it is wrapped with a "decoding" prefix by the caller).
+	var opErr *net.OpError
+	return errors.As(err, &opErr) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// drainEvents reads an NDJSON event stream to its end. A batch stream
+// always terminates with a "done" event; a stream that ends — cleanly
+// or not — without one was cut mid-batch and is reported as a
+// *TruncatedStreamError so callers cannot mistake a dropped connection
+// for a short batch. An error returned by fn aborts the drain and is
+// returned as-is.
 func drainEvents(resp *http.Response, fn func(api.Event) error) error {
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	events, doneSeen := 0, false
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -288,11 +354,21 @@ func drainEvents(resp *http.Response, fn func(api.Event) error) error {
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return fmt.Errorf("client: decoding event: %w", err)
 		}
+		events++
+		if ev.Type == "done" {
+			doneSeen = true
+		}
 		if err := fn(ev); err != nil {
 			return err
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return &TruncatedStreamError{Events: events, Err: err}
+	}
+	if !doneSeen {
+		return &TruncatedStreamError{Events: events}
+	}
+	return nil
 }
 
 // Healthz reads /healthz — pure liveness, 200 whenever the process

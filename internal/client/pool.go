@@ -1,0 +1,75 @@
+package client
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Pool is a fixed set of lttad workers addressed by base URL — the
+// client half a coordinator fans sharded batches out over. It owns one
+// Client per worker (sharing one http.Client so connection pools are
+// reused across shards) and a readiness probe. The pool itself is
+// immutable and goroutine-safe; liveness tracking lives in the caller,
+// which knows why a dispatch failed.
+type Pool struct {
+	addrs   []string
+	clients map[string]*Client
+}
+
+// NewPool builds a pool over the given worker base URLs. Addresses are
+// normalized (an address without a scheme gets "http://"), duplicates
+// collapsed, and the set sorted so two pools over the same workers are
+// identical regardless of flag order.
+func NewPool(addrs []string) *Pool {
+	p := &Pool{clients: make(map[string]*Client, len(addrs))}
+	for _, a := range addrs {
+		a = NormalizeAddr(a)
+		if a == "" {
+			continue
+		}
+		if _, dup := p.clients[a]; dup {
+			continue
+		}
+		p.clients[a] = New(a)
+		p.addrs = append(p.addrs, a)
+	}
+	sort.Strings(p.addrs)
+	return p
+}
+
+// NormalizeAddr canonicalizes a worker address: trimmed, scheme
+// defaulted to http, trailing slash dropped.
+func NormalizeAddr(a string) string {
+	a = strings.TrimSpace(a)
+	if a == "" {
+		return ""
+	}
+	if !strings.Contains(a, "://") {
+		a = "http://" + a
+	}
+	return strings.TrimRight(a, "/")
+}
+
+// Addrs returns the pool's normalized worker addresses, sorted.
+func (p *Pool) Addrs() []string { return p.addrs }
+
+// For returns the client for one worker address (which must be one of
+// Addrs; unknown addresses return nil).
+func (p *Pool) For(addr string) *Client { return p.clients[addr] }
+
+// Probe asks one worker's /readyz whether it would admit a batch right
+// now, bounded by timeout. It returns nil exactly when the worker is
+// ready; a starting or draining worker (503) and an unreachable one
+// both report an error.
+func (p *Pool) Probe(ctx context.Context, addr string, timeout time.Duration) error {
+	cl := p.For(addr)
+	if cl == nil {
+		return &APIError{Status: 0, Code: "unknown_worker", Message: "address not in pool: " + addr}
+	}
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	_, err := cl.Readyz(pctx)
+	return err
+}

@@ -1,0 +1,73 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+func TestNormalizeAddr(t *testing.T) {
+	for in, want := range map[string]string{
+		"":                    "",
+		"  ":                  "",
+		"host:8090":           "http://host:8090",
+		"http://host:8090":    "http://host:8090",
+		"https://host:8090/":  "https://host:8090",
+		" http://host:8090/ ": "http://host:8090",
+		"127.0.0.1:9":         "http://127.0.0.1:9",
+		"http://host:8090//":  "http://host:8090",
+	} {
+		if got := NormalizeAddr(in); got != want {
+			t.Errorf("NormalizeAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPoolDedupAndOrder(t *testing.T) {
+	p := NewPool([]string{"b:2", "http://a:1", "b:2/", "", "http://a:1/"})
+	want := []string{"http://a:1", "http://b:2"}
+	if !reflect.DeepEqual(p.Addrs(), want) {
+		t.Fatalf("Addrs() = %v, want %v", p.Addrs(), want)
+	}
+	for _, a := range want {
+		if p.For(a) == nil {
+			t.Fatalf("no client for %s", a)
+		}
+	}
+	if p.For("http://c:3") != nil {
+		t.Fatal("client minted for an address outside the pool")
+	}
+}
+
+func TestPoolProbe(t *testing.T) {
+	ready := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(api.Health{Status: "ok"})
+	}))
+	defer ready.Close()
+	draining := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(api.Health{Status: "draining"})
+	}))
+	defer draining.Close()
+
+	p := NewPool([]string{ready.URL, draining.URL, "http://127.0.0.1:1"})
+	ctx := context.Background()
+	if err := p.Probe(ctx, NormalizeAddr(ready.URL), time.Second); err != nil {
+		t.Fatalf("ready worker probed unready: %v", err)
+	}
+	if err := p.Probe(ctx, NormalizeAddr(draining.URL), time.Second); err == nil {
+		t.Fatal("draining worker probed ready")
+	}
+	if err := p.Probe(ctx, "http://127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("unreachable worker probed ready")
+	}
+	if err := p.Probe(ctx, "http://not-in-pool:1", time.Second); err == nil {
+		t.Fatal("unknown address probed ready")
+	}
+}

@@ -1,0 +1,165 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// streamHandler serves a canned NDJSON prefix: one circuit event plus
+// k check events, then hands control back to finish for the ending
+// under test.
+func streamHandler(k int, finish func(w http.ResponseWriter)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl := w.(http.Flusher)
+		fmt.Fprintln(w, `{"type":"circuit","circuit":{"name":"c17"}}`)
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(w, `{"type":"check","check":{"sink":"G%d","delta":40,"index":%d,"final":"N"}}`+"\n", i, i)
+		}
+		fl.Flush()
+		finish(w)
+	}
+}
+
+func countEvents(n *int) func(api.Event) error {
+	return func(api.Event) error { *n++; return nil }
+}
+
+// TestStreamCutMidStream is the regression for a worker dying (or a
+// proxy resetting) mid-stream: the connection is aborted after K
+// events with no clean HTTP ending, and the client must surface a
+// typed, retryable *TruncatedStreamError instead of a bare transport
+// error — the coordinator's requeue path keys off exactly this.
+func TestStreamCutMidStream(t *testing.T) {
+	const k = 5
+	ts := httptest.NewServer(streamHandler(k, func(http.ResponseWriter) {
+		panic(http.ErrAbortHandler) // cut the connection without a chunked terminator
+	}))
+	defer ts.Close()
+
+	events := 0
+	err := New(ts.URL).Stream(context.Background(),
+		api.Request{Netlist: "x", Checks: []api.CheckSpec{{Sink: "G0"}}},
+		countEvents(&events))
+	var trunc *TruncatedStreamError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("cut stream returned %v (%T), want *TruncatedStreamError", err, err)
+	}
+	if trunc.Events != k+1 || events != k+1 {
+		t.Fatalf("saw %d events, error records %d, want %d", events, trunc.Events, k+1)
+	}
+	if trunc.Err == nil {
+		t.Fatal("aborted connection must carry the transport error")
+	}
+	if !trunc.Temporary() || !Retryable(err) {
+		t.Fatalf("mid-stream cut must be retryable: %v", err)
+	}
+}
+
+// TestStreamCleanEOFWithoutDone: a stream that ends with a perfectly
+// clean HTTP response but no "done" event was still cut mid-batch
+// (e.g. a worker drained and closed the response early) and must be
+// reported the same way.
+func TestStreamCleanEOFWithoutDone(t *testing.T) {
+	const k = 3
+	ts := httptest.NewServer(streamHandler(k, func(http.ResponseWriter) {}))
+	defer ts.Close()
+
+	err := New(ts.URL).Stream(context.Background(),
+		api.Request{Netlist: "x", Checks: []api.CheckSpec{{Sink: "G0"}}},
+		func(api.Event) error { return nil })
+	var trunc *TruncatedStreamError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("done-less stream returned %v, want *TruncatedStreamError", err)
+	}
+	if trunc.Events != k+1 || trunc.Err != nil {
+		t.Fatalf("clean truncation: events=%d err=%v, want %d and nil", trunc.Events, trunc.Err, k+1)
+	}
+	if !Retryable(err) {
+		t.Fatal("clean truncation must be retryable")
+	}
+}
+
+// TestStreamCompleteIsNil: a stream ending with its "done" event is a
+// success, however short.
+func TestStreamCompleteIsNil(t *testing.T) {
+	ts := httptest.NewServer(streamHandler(2, func(w http.ResponseWriter) {
+		fmt.Fprintln(w, `{"type":"done","done":{"checksRun":2}}`)
+	}))
+	defer ts.Close()
+
+	doneSeen := false
+	err := New(ts.URL).Stream(context.Background(),
+		api.Request{Netlist: "x", Checks: []api.CheckSpec{{Sink: "G0"}}},
+		func(ev api.Event) error {
+			if ev.Type == "done" {
+				doneSeen = true
+			}
+			return nil
+		})
+	if err != nil || !doneSeen {
+		t.Fatalf("complete stream: err=%v doneSeen=%v", err, doneSeen)
+	}
+}
+
+// TestStreamFnErrorPropagates: an error from the callback aborts the
+// drain and comes back verbatim, never wrapped as a truncation.
+func TestStreamFnErrorPropagates(t *testing.T) {
+	ts := httptest.NewServer(streamHandler(4, func(w http.ResponseWriter) {
+		fmt.Fprintln(w, `{"type":"done","done":{"checksRun":4}}`)
+	}))
+	defer ts.Close()
+
+	sentinel := errors.New("stop here")
+	err := New(ts.URL).Stream(context.Background(),
+		api.Request{Netlist: "x", Checks: []api.CheckSpec{{Sink: "G0"}}},
+		func(ev api.Event) error {
+			if ev.Type == "check" {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("fn error came back as %v, want the sentinel", err)
+	}
+	var trunc *TruncatedStreamError
+	if errors.As(err, &trunc) {
+		t.Fatal("fn abort must not masquerade as a truncated stream")
+	}
+}
+
+// TestRetryableClassification pins the retry predicate the coordinator
+// and other retry loops share.
+func TestRetryableClassification(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"ctx cancel", context.Canceled, false},
+		{"ctx deadline", context.DeadlineExceeded, false},
+		{"wrapped cancel", &TruncatedStreamError{Events: 3, Err: context.Canceled}, false},
+		{"backpressure 429", &APIError{Status: 429, Code: "queue_full"}, true},
+		{"draining 503", &APIError{Status: 503, Code: "draining"}, true},
+		{"bad request 400", &APIError{Status: 400, Code: "bad_sweep"}, false},
+		{"unknown hash 404", &APIError{Status: 404, Code: "unknown_hash"}, false},
+		{"truncated stream", &TruncatedStreamError{Events: 7}, true},
+		{"dial failure", &url.Error{Op: "Post", URL: "http://x", Err: errors.New("connection refused")}, true},
+		{"unexpected EOF", io.ErrUnexpectedEOF, true},
+		{"wrapped unexpected EOF", fmt.Errorf("reading: %w", io.ErrUnexpectedEOF), true},
+		{"generic", errors.New("nope"), false},
+	} {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

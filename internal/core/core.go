@@ -66,6 +66,28 @@ func (r Result) String() string {
 	return "?"
 }
 
+// ParseResult is the inverse of Result.String: it decodes the paper's
+// single-letter verdict codes as served on the wire (CheckResult stage
+// fields). A coordinator merging sharded results uses it to rebuild
+// reports for circuit-level aggregation.
+func ParseResult(s string) (Result, bool) {
+	switch s {
+	case "P":
+		return PossibleViolation, true
+	case "N":
+		return NoViolation, true
+	case "V":
+		return ViolationFound, true
+	case "A":
+		return Abandoned, true
+	case "-":
+		return StageSkipped, true
+	case "C":
+		return Cancelled, true
+	}
+	return PossibleViolation, false
+}
+
 // Options configure the verifier stages.
 type Options struct {
 	// UseDominators enables the dynamic-timing-dominator implications

@@ -79,6 +79,13 @@ func uploadError(err error) *apiError {
 // batch can see it.
 func (s *Server) buildCircuit(canon *api.UploadRequest) (*circuit.Circuit, error) {
 	s.netlistParses.Add(1)
+	return buildUploadCircuit(canon)
+}
+
+// buildUploadCircuit is the parse+annotate step shared by the worker
+// registry and the coordinator's circuit table; each caller counts the
+// parse in its own netlistParses counter.
+func buildUploadCircuit(canon *api.UploadRequest) (*circuit.Circuit, error) {
 	c, apiErr := parseNetlist(canon.Netlist, canon.Format, canon.Name, canon.DefaultDelay)
 	if apiErr != nil {
 		return nil, apiErr

@@ -1,0 +1,639 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/circuit"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/waveform"
+)
+
+// coordBatch is one admitted submission being executed across the
+// cluster. The handler goroutine owns it: it expands the workload into
+// units (one per client-facing check), shards them over the live
+// workers by rendezvous hashing, merges the per-shard NDJSON streams,
+// and re-establishes the single-daemon guarantee — exactly one
+// terminal result per unit — through worker failures, requeues, and
+// hedges. The state machine per unit is:
+//
+//	undelivered --worker result--------------------> delivered
+//	undelivered --stream failed, attempts left-----> requeued (undelivered)
+//	undelivered --straggling at HedgeAfter---------> racing two workers
+//	undelivered --attempts exhausted---------------> delivered (A + error)
+//	undelivered --batch context dead---------------> delivered (C)
+//
+// with the delivered flag (under mu) making the first transition win
+// every race: late duplicates from hedges or requeue overlap are
+// counted and dropped, never re-emitted.
+type coordBatch struct {
+	co     *Coordinator
+	entry  *coordEntry
+	req    *Request
+	checks []resolvedCheck
+
+	id  int64
+	log *slog.Logger
+
+	ctx    context.Context // the batch context; checked by the C-requeue rule
+	em     *emitter
+	wg     sync.WaitGroup // every dispatchShard goroutine
+	doneCh chan struct{}  // closed when remaining hits 0
+
+	mu        sync.Mutex
+	units     []*coordUnit
+	remaining int
+	checksRun int // table1 forward only; unit workloads use len(units)
+}
+
+// coordUnit is one client-facing check flowing through the merge
+// machine.
+type coordUnit struct {
+	emitIndex int    // index stamped on the wire (batch position, or PO index within a sweep)
+	deltaIdx  int    // sweep slot; 0 for explicit batches
+	sink      string // sink net name (the shard key component)
+	sinkID    circuit.NetID
+	delta     waveform.Time
+	spec      CheckSpec
+
+	delivered bool
+	attempts  int      // dispatches this unit has been part of (primary, requeue, and hedge all count)
+	inFlight  int      // dispatches currently racing it
+	workers   []string // every worker it has been dispatched to, in order
+	result    *CheckResult
+
+	// lastC holds a worker-reported Cancelled result that arrived while
+	// the batch context was still alive — the *worker's* context died
+	// (drain, kill), not the client's, so it is not terminal here. It
+	// is delivered only if every requeue attempt is exhausted.
+	lastC       *CheckResult
+	lastCWorker string
+}
+
+func (u *coordUnit) key(hash api.Hash) ShardKey {
+	return ShardKey{Hash: string(hash), Sink: u.sink}
+}
+
+func (u *coordUnit) tried(addr string) bool {
+	for _, w := range u.workers {
+		if w == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes the batch against the cluster and assembles the
+// response (emitting events along the way when em is non-nil).
+func (cb *coordBatch) run(ctx context.Context, em *emitter) *Response {
+	start := time.Now()
+	c := cb.entry.c
+	resp := &Response{V: api.Version, Circuit: circuitInfo(c, batchSize(c, cb.req, cb.checks))}
+	em.emit(Event{Type: "circuit", Circuit: &resp.Circuit})
+
+	if cb.req.Sweep != nil && cb.req.Sweep.Table1 {
+		cb.em = em
+		cb.runTable1Forward(ctx, em, resp)
+		resp.Done = DoneInfo{ChecksRun: cb.checksRun, ElapsedUs: time.Since(start).Microseconds()}
+		cb.logDone(ctx, start)
+		return resp
+	}
+
+	// Unit workloads: a batch-scoped context so finishing the batch
+	// (first-witness cancellation upstream, or simply every unit
+	// delivered) tears down every worker stream still racing —
+	// cluster-wide cancellation in one cancel call.
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cb.ctx = bctx
+	cb.em = em
+	cb.doneCh = make(chan struct{})
+	cb.buildUnits()
+	cb.mu.Lock()
+	cb.remaining = len(cb.units)
+	if cb.remaining == 0 {
+		close(cb.doneCh)
+	}
+	cb.mu.Unlock()
+
+	cb.dispatchAll(bctx)
+
+	// The hedge pass runs at most once per batch, HedgeAfter into it.
+	// It is a goroutine (not AfterFunc) so run() can wait for it below:
+	// its launches must precede wg.Wait.
+	hedgeDone := make(chan struct{})
+	go func() {
+		defer close(hedgeDone)
+		if cb.co.cfg.HedgeAfter <= 0 {
+			return
+		}
+		t := time.NewTimer(cb.co.cfg.HedgeAfter)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			cb.hedgePass(bctx)
+		case <-cb.doneCh:
+		case <-bctx.Done():
+		}
+	}()
+
+	<-cb.doneCh
+	<-hedgeDone
+	cancel() // cut hedge losers and any stream still open
+	cb.wg.Wait()
+
+	if cb.req.Sweep == nil {
+		resp.Results = make([]CheckResult, len(cb.units))
+		for i, u := range cb.units {
+			resp.Results[i] = *u.result
+		}
+	} else {
+		cb.assembleSweeps(resp, em)
+	}
+	resp.Done = DoneInfo{ChecksRun: len(cb.units), ElapsedUs: time.Since(start).Microseconds()}
+	cb.logDone(ctx, start)
+	return resp
+}
+
+func (cb *coordBatch) logDone(ctx context.Context, start time.Time) {
+	cb.mu.Lock()
+	n := cb.checksRun
+	if cb.units != nil {
+		n = len(cb.units)
+	}
+	cb.mu.Unlock()
+	cb.log.LogAttrs(ctx, slog.LevelInfo, "batch done",
+		slog.String("circuit", cb.entry.c.Name), slog.Int("checks", n),
+		slog.Duration("elapsed", time.Since(start)))
+}
+
+// buildUnits expands the workload into units in client-facing order:
+// explicit checks by batch position; sweeps delta-major, one unit per
+// (delta, primary output) with emitIndex the PO index — exactly the
+// index a single daemon stamps on its streamed sweep checks.
+func (cb *coordBatch) buildUnits() {
+	c := cb.entry.c
+	if cb.req.Sweep == nil {
+		cb.units = make([]*coordUnit, len(cb.checks))
+		for i, rc := range cb.checks {
+			cb.units[i] = &coordUnit{
+				emitIndex: i, sink: c.Net(rc.sink).Name, sinkID: rc.sink, delta: rc.delta,
+				spec: CheckSpec{Sink: c.Net(rc.sink).Name, Delta: int64(rc.delta), VerifyOnly: rc.verifyOnly},
+			}
+		}
+		return
+	}
+	pos := c.PrimaryOutputs()
+	for di, d := range cb.req.Sweep.Deltas {
+		for pi, po := range pos {
+			name := c.Net(po).Name
+			cb.units = append(cb.units, &coordUnit{
+				emitIndex: pi, deltaIdx: di, sink: name, sinkID: po, delta: waveform.Time(d),
+				spec: CheckSpec{Sink: name, Delta: d},
+			})
+		}
+	}
+}
+
+// dispatchAll performs the primary placement: one shard per owning
+// worker, each dispatched as a single hash-addressed streaming batch.
+func (cb *coordBatch) dispatchAll(ctx context.Context) {
+	alive := cb.co.aliveWorkers(ctx)
+	if len(alive) == 0 {
+		cb.mu.Lock()
+		for _, u := range cb.units {
+			cb.deliverLocked(u, cb.syntheticResult(u, core.Abandoned, "no live workers"), "")
+			cb.co.checkFailures.Add(1)
+		}
+		cb.mu.Unlock()
+		return
+	}
+	router := NewShardRouter(alive)
+	groups := make(map[string][]*coordUnit)
+	for _, u := range cb.units {
+		owner, _ := router.Assign(u.key(cb.entry.hash))
+		groups[owner] = append(groups[owner], u)
+	}
+	addrs := make([]string, 0, len(groups))
+	for addr := range groups {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		cb.launch(ctx, addr, groups[addr], "primary")
+	}
+}
+
+// launch records the dispatch on every covered unit and starts the
+// shard goroutine.
+func (cb *coordBatch) launch(ctx context.Context, addr string, units []*coordUnit, kind string) {
+	w := cb.co.byAddr[addr]
+	cb.mu.Lock()
+	for _, u := range units {
+		u.attempts++
+		u.inFlight++
+		u.workers = append(u.workers, addr)
+	}
+	cb.mu.Unlock()
+	switch kind {
+	case "primary":
+		cb.co.dispatchPrimary.Add(1)
+	case "requeue":
+		cb.co.dispatchRequeue.Add(1)
+	case "hedge":
+		cb.co.dispatchHedge.Add(1)
+	}
+	cb.log.LogAttrs(ctx, slog.LevelDebug, "shard dispatch",
+		slog.String("worker", addr), slog.Int("checks", len(units)), slog.String("kind", kind))
+	cb.wg.Add(1)
+	go cb.dispatchShard(ctx, w, units, kind)
+}
+
+// dispatchShard runs one shard's stream against one worker and settles
+// the aftermath: units this stream stranded (undelivered with no other
+// dispatch racing them) flow into redispatch, and a retryable failure
+// marks the worker dead for the probe loop to resurrect.
+func (cb *coordBatch) dispatchShard(ctx context.Context, w *coordWorker, units []*coordUnit, kind string) {
+	defer cb.wg.Done()
+	err := cb.streamShard(ctx, w, units, kind)
+	var stranded []*coordUnit
+	cb.mu.Lock()
+	for _, u := range units {
+		u.inFlight--
+		if !u.delivered && u.inFlight == 0 {
+			stranded = append(stranded, u)
+		}
+	}
+	cb.mu.Unlock()
+	if err != nil && ctx.Err() == nil && client.Retryable(err) {
+		cb.co.markDead(ctx, w, err)
+	}
+	cb.redispatch(ctx, stranded, err)
+}
+
+// streamShard uploads the circuit if the worker needs it and streams
+// the shard's checks, delivering each result as its event arrives. An
+// unknown_hash answer (the worker evicted the circuit between our
+// upload and the check) is retried once on the same worker after
+// forgetting the stale belief.
+func (cb *coordBatch) streamShard(ctx context.Context, w *coordWorker, units []*coordUnit, kind string) error {
+	for try := 0; try < 2; try++ {
+		if err := cb.co.ensureCircuit(ctx, w, cb.entry); err != nil {
+			return err
+		}
+		specs := make([]CheckSpec, len(units))
+		attempt := 0
+		cb.mu.Lock()
+		for i, u := range units {
+			specs[i] = u.spec
+			attempt = max(attempt, u.attempts)
+		}
+		cb.mu.Unlock()
+		req := api.Request{
+			V: api.Version, Checks: specs,
+			Options: cb.req.Options, Budgets: cb.req.Budgets,
+			CheckTimeoutMs: cb.req.CheckTimeoutMs,
+			Shard: &api.ShardInfo{
+				Coordinator: cb.co.cfg.Name, Batch: cb.id, Worker: w.addr,
+				Attempt: attempt, Hedge: kind == "hedge",
+			},
+		}
+		err := w.cl.StreamByHash(ctx, cb.entry.hash, req, func(ev Event) error {
+			if ev.Type == "check" && ev.Check != nil {
+				cb.deliver(units, ev.Check, w.addr)
+			}
+			return nil
+		})
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.UnknownHash() {
+			w.forget(cb.entry.hash)
+			continue
+		}
+		return err
+	}
+	return fmt.Errorf("worker %s keeps answering unknown_hash for %s", w.addr, cb.entry.hash)
+}
+
+// deliver routes one worker result to its unit. It is the merge
+// point of the exactly-once guarantee: the first terminal result for
+// a unit wins, and everything after it is dropped under the same lock
+// that emitted the winner.
+func (cb *coordBatch) deliver(shard []*coordUnit, res *CheckResult, worker string) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if res.Index < 0 || res.Index >= len(shard) {
+		return // malformed event; drop rather than corrupt a neighbour
+	}
+	u := shard[res.Index]
+	if u.delivered {
+		cb.co.duplicatesDropped.Add(1)
+		return
+	}
+	if res.Final == "C" && cb.ctx.Err() == nil {
+		// The worker's context died, not the batch's: record and
+		// requeue (the stream-end settlement picks the unit up).
+		keep := *res
+		u.lastC, u.lastCWorker = &keep, worker
+		return
+	}
+	cb.deliverLocked(u, res, worker)
+}
+
+// deliverLocked finalises a unit (mu held): stamp placement, emit, and
+// count down. Emitting under mu orders every check event strictly
+// before the batch's done event.
+func (cb *coordBatch) deliverLocked(u *coordUnit, res *CheckResult, worker string) {
+	r := *res
+	r.Index = u.emitIndex
+	r.Worker = worker
+	r.Attempt = u.attempts
+	u.result = &r
+	u.delivered = true
+	cb.remaining--
+	cb.co.checksMerged.Add(1)
+	cb.em.emit(Event{Type: "check", Check: &r})
+	if cb.remaining == 0 {
+		close(cb.doneCh)
+	}
+}
+
+// syntheticResult is a coordinator-made terminal result (the unit
+// never got a usable worker answer): the same shape a worker's
+// panic-isolation (A) or cancellation (C) path produces.
+func (cb *coordBatch) syntheticResult(u *coordUnit, final core.Result, errMsg string) *CheckResult {
+	rep := &core.Report{
+		Sink: u.sinkID, Delta: u.delta,
+		BeforeGITD: core.PossibleViolation, AfterGITD: core.StageSkipped,
+		AfterStem: core.StageSkipped, CaseAnalysis: core.StageSkipped,
+		Backtracks: -1, Final: final,
+	}
+	res := ResultFromReport(cb.entry.c, u.emitIndex, rep)
+	res.Error = errMsg
+	return &res
+}
+
+// redispatch settles units stranded by a finished dispatch: cancelled
+// terminals when the batch context is gone, abandoned terminals on
+// non-retryable causes or exhausted attempts (a recorded worker C wins
+// over a synthetic A there), and otherwise a requeue onto the
+// highest-ranked live worker each unit has not tried yet.
+func (cb *coordBatch) redispatch(ctx context.Context, units []*coordUnit, cause error) {
+	if len(units) == 0 {
+		return
+	}
+	if ctx.Err() != nil {
+		cb.mu.Lock()
+		for _, u := range units {
+			if !u.delivered {
+				cb.deliverLocked(u, cb.syntheticResult(u, core.Cancelled, ""), "")
+			}
+		}
+		cb.mu.Unlock()
+		return
+	}
+	causeMsg := ""
+	if cause != nil {
+		causeMsg = cause.Error()
+	}
+	if cause != nil && !client.Retryable(cause) {
+		cb.mu.Lock()
+		for _, u := range units {
+			if !u.delivered {
+				cb.deliverLocked(u, cb.syntheticResult(u, core.Abandoned, causeMsg), "")
+				cb.co.checkFailures.Add(1)
+			}
+		}
+		cb.mu.Unlock()
+		return
+	}
+
+	var retry []*coordUnit
+	cb.mu.Lock()
+	for _, u := range units {
+		switch {
+		case u.delivered:
+		case u.attempts >= cb.co.cfg.MaxAttempts:
+			cb.co.checkFailures.Add(1)
+			if u.lastC != nil {
+				cb.deliverLocked(u, u.lastC, u.lastCWorker)
+			} else {
+				msg := "no dispatch attempts left"
+				if causeMsg != "" {
+					msg += ": " + causeMsg
+				}
+				cb.deliverLocked(u, cb.syntheticResult(u, core.Abandoned, msg), "")
+			}
+		default:
+			retry = append(retry, u)
+		}
+	}
+	cb.mu.Unlock()
+	if len(retry) == 0 {
+		return
+	}
+
+	alive := cb.co.aliveWorkers(ctx)
+	if len(alive) == 0 {
+		cb.mu.Lock()
+		for _, u := range retry {
+			if !u.delivered {
+				cb.deliverLocked(u, cb.syntheticResult(u, core.Abandoned, "no live workers left"), "")
+				cb.co.checkFailures.Add(1)
+			}
+		}
+		cb.mu.Unlock()
+		return
+	}
+	router := NewShardRouter(alive)
+	groups := make(map[string][]*coordUnit)
+	cb.mu.Lock()
+	for _, u := range retry {
+		ranked := router.Ranked(u.key(cb.entry.hash))
+		target := ranked[0]
+		for _, cand := range ranked {
+			if !u.tried(cand) {
+				target = cand
+				break
+			}
+		}
+		groups[target] = append(groups[target], u)
+	}
+	cb.mu.Unlock()
+	cb.co.requeuedChecks.Add(int64(len(retry)))
+	addrs := make([]string, 0, len(groups))
+	for addr := range groups {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		cb.launch(ctx, addr, groups[addr], "requeue")
+	}
+}
+
+// hedgePass runs once, HedgeAfter into the batch: every unit still
+// racing its primary dispatch is additionally dispatched to the
+// highest-ranked live worker it has not tried, and the first terminal
+// result wins at deliver (the loser is counted and dropped; the
+// batch-scoped context cuts its stream when the batch completes).
+func (cb *coordBatch) hedgePass(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	alive := cb.co.aliveWorkers(ctx)
+	if len(alive) < 2 {
+		return // a hedge on the same sole worker buys nothing
+	}
+	router := NewShardRouter(alive)
+	groups := make(map[string][]*coordUnit)
+	hedged := 0
+	cb.mu.Lock()
+	for _, u := range cb.units {
+		if u.delivered || u.inFlight == 0 || u.attempts >= cb.co.cfg.MaxAttempts {
+			continue
+		}
+		target := ""
+		for _, cand := range router.Ranked(u.key(cb.entry.hash)) {
+			if !u.tried(cand) {
+				target = cand
+				break
+			}
+		}
+		if target == "" {
+			continue
+		}
+		groups[target] = append(groups[target], u)
+		hedged++
+	}
+	cb.mu.Unlock()
+	if hedged == 0 {
+		return
+	}
+	cb.co.hedgedChecks.Add(int64(hedged))
+	addrs := make([]string, 0, len(groups))
+	for addr := range groups {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		cb.launch(ctx, addr, groups[addr], "hedge")
+	}
+}
+
+// assembleSweeps rebuilds the per-δ circuit aggregates from the
+// delivered per-output results, through the exact aggregation path a
+// single daemon uses: wire result → core.Report → core.AggregateCircuit
+// → SweepFromReport. The round trip is lossless for every aggregated
+// field, so coordinator sweeps are field-identical to single-daemon
+// sweeps (the differential cluster suite pins this).
+func (cb *coordBatch) assembleSweeps(resp *Response, em *emitter) {
+	c := cb.entry.c
+	npos := len(c.PrimaryOutputs())
+	for di, d := range cb.req.Sweep.Deltas {
+		reports := make([]*core.Report, npos)
+		for pi := 0; pi < npos; pi++ {
+			u := cb.units[di*npos+pi]
+			rep, err := reportFromResult(c, u.result)
+			if err != nil {
+				// A worker answered something unparseable; account the
+				// output as abandoned rather than failing the batch.
+				cb.log.LogAttrs(cb.ctx, slog.LevelError, "unusable worker result",
+					slog.String("sink", u.sink), slog.String("error", err.Error()))
+				rep = &core.Report{
+					Sink: u.sinkID, Delta: u.delta,
+					BeforeGITD: core.PossibleViolation, AfterGITD: core.StageSkipped,
+					AfterStem: core.StageSkipped, CaseAnalysis: core.StageSkipped,
+					Backtracks: -1, Final: core.Abandoned,
+				}
+			}
+			reports[pi] = rep
+		}
+		sw := SweepFromReport(c, core.AggregateCircuit(waveform.Time(d), reports))
+		resp.Sweeps = append(resp.Sweeps, sw)
+		em.emit(Event{Type: "sweep", Sweep: &sw})
+	}
+}
+
+// runTable1Forward forwards a table1 sweep whole to one worker: the
+// delay search is a sequential protocol (each probe depends on the
+// last verdict), so sharding it would change it. The owner is the
+// rendezvous choice for the circuit itself (empty sink), and the
+// Ranked tail is the failover order.
+func (cb *coordBatch) runTable1Forward(ctx context.Context, em *emitter, resp *Response) {
+	alive := cb.co.aliveWorkers(ctx)
+	if len(alive) == 0 {
+		em.emit(Event{Type: "error", Error: "no live workers"})
+		return
+	}
+	router := NewShardRouter(alive)
+	ranked := router.Ranked(ShardKey{Hash: string(cb.entry.hash)})
+	var lastErr error
+	for attempt, addr := range ranked {
+		if ctx.Err() != nil {
+			break
+		}
+		w := cb.co.byAddr[addr]
+		wresp, err := cb.forwardTable1(ctx, w, attempt+1)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() == nil && client.Retryable(err) {
+				cb.co.markDead(ctx, w, err)
+				cb.co.dispatchRequeue.Add(1)
+				continue
+			}
+			break
+		}
+		cb.co.dispatchPrimary.Add(1)
+		resp.Rows = wresp.Rows
+		resp.Sweeps = wresp.Sweeps
+		cb.mu.Lock()
+		cb.checksRun = wresp.Done.ChecksRun
+		cb.mu.Unlock()
+		cb.co.checksMerged.Add(int64(wresp.Done.ChecksRun))
+		for i := range resp.Sweeps {
+			em.emit(Event{Type: "sweep", Sweep: &resp.Sweeps[i]})
+		}
+		if len(resp.Rows) > 0 {
+			em.emit(Event{Type: "rows", Rows: resp.Rows})
+		}
+		return
+	}
+	msg := "table1 sweep failed on every live worker"
+	if lastErr != nil {
+		msg += ": " + lastErr.Error()
+	}
+	em.emit(Event{Type: "error", Error: msg})
+}
+
+// forwardTable1 runs the whole table1 request on one worker as a
+// buffered call, retrying once through the unknown_hash re-upload
+// path like a sharded stream does.
+func (cb *coordBatch) forwardTable1(ctx context.Context, w *coordWorker, attempt int) (*Response, error) {
+	for try := 0; try < 2; try++ {
+		if err := cb.co.ensureCircuit(ctx, w, cb.entry); err != nil {
+			return nil, err
+		}
+		req := api.Request{
+			V: api.Version, Sweep: cb.req.Sweep,
+			Options: cb.req.Options, Budgets: cb.req.Budgets,
+			CheckTimeoutMs: cb.req.CheckTimeoutMs,
+			Shard: &api.ShardInfo{
+				Coordinator: cb.co.cfg.Name, Batch: cb.id, Worker: w.addr, Attempt: attempt,
+			},
+		}
+		wresp, err := w.cl.CheckByHash(ctx, cb.entry.hash, req)
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.UnknownHash() {
+			w.forget(cb.entry.hash)
+			continue
+		}
+		return wresp, err
+	}
+	return nil, fmt.Errorf("worker %s keeps answering unknown_hash for %s", w.addr, cb.entry.hash)
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/waveform"
+)
+
+// reportFromResult is the inverse of ResultFromReport: it rebuilds a
+// core.Report from a wire CheckResult so a coordinator can aggregate
+// per-output results it received from workers through the exact same
+// code path a single daemon uses (core.AggregateCircuit +
+// SweepFromReport). Round-tripping is lossless for every field the
+// sweep aggregate reads; the differential cluster suite pins the
+// resulting aggregates field-identical to a single daemon's.
+func reportFromResult(c *circuit.Circuit, res *CheckResult) (*core.Report, error) {
+	sink, ok := c.NetByName(res.Sink)
+	if !ok {
+		return nil, fmt.Errorf("result names unknown sink %q", res.Sink)
+	}
+	rep := &core.Report{
+		Sink:  sink,
+		Delta: waveform.Time(res.Delta),
+
+		Backtracks:      res.Backtracks,
+		Dominators:      res.Dominators,
+		DominatorRounds: res.DominatorRounds,
+		Propagations:    res.Propagations,
+		Elapsed:         time.Duration(res.ElapsedUs) * time.Microsecond,
+	}
+	rep.Stats.Narrowings = res.Narrowings
+	rep.Stats.QueueHighWater = res.QueueHighWater
+	rep.Stats.Decisions = res.Decisions
+	rep.Stats.StemSplits = res.StemSplits
+	for _, f := range []struct {
+		name string
+		dst  *core.Result
+		src  string
+	}{
+		{"beforeGITD", &rep.BeforeGITD, res.BeforeGITD},
+		{"afterGITD", &rep.AfterGITD, res.AfterGITD},
+		{"afterStem", &rep.AfterStem, res.AfterStem},
+		{"caseAnalysis", &rep.CaseAnalysis, res.CaseAnalysis},
+		{"final", &rep.Final, res.Final},
+	} {
+		v, ok := core.ParseResult(f.src)
+		if !ok {
+			return nil, fmt.Errorf("result (%s, %d): unknown %s verdict %q", res.Sink, res.Delta, f.name, f.src)
+		}
+		*f.dst = v
+	}
+	if res.Witness != "" {
+		vec, err := DecodeWitness(res.Witness)
+		if err != nil {
+			return nil, fmt.Errorf("result (%s, %d): %v", res.Sink, res.Delta, err)
+		}
+		rep.Witness = vec
+		rep.WitnessSettle = waveform.Time(res.WitnessSettle)
+	}
+	return rep, nil
+}

@@ -451,6 +451,13 @@ func (s *Server) admitAndRun(w http.ResponseWriter, r *http.Request, req *Reques
 	if pin != nil {
 		attrs = append(attrs, slog.String("hash", hashStr), slog.Bool("cacheHit", wasHit))
 	}
+	if sh := req.Shard; sh != nil {
+		// Stamped by a coordinator: trace which cluster placement this
+		// batch is (primary, requeue, or hedge dispatch).
+		attrs = append(attrs,
+			slog.String("coordinator", sh.Coordinator), slog.Int64("coordBatch", sh.Batch),
+			slog.Int("attempt", sh.Attempt), slog.Bool("hedge", sh.Hedge))
+	}
 	b.log.LogAttrs(ctx, slog.LevelInfo, "batch accepted", attrs...)
 	if req.Stream {
 		s.streams.Add(1)

@@ -1,0 +1,208 @@
+package server_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func key(i int) server.ShardKey {
+	return server.ShardKey{Hash: "sha256:abc", Sink: fmt.Sprintf("G%d", i)}
+}
+
+// TestShardRouterPartition: a key set is partitioned — every key lands
+// on exactly one worker, and the per-worker shard sizes sum to the key
+// count.
+func TestShardRouterPartition(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := server.NewShardRouter(workers)
+	owned := map[string]int{}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		w, ok := r.Assign(key(i))
+		if !ok {
+			t.Fatalf("key %d unassigned", i)
+		}
+		found := false
+		for _, cand := range workers {
+			if cand == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("key %d assigned to unknown worker %q", i, w)
+		}
+		owned[w]++
+	}
+	total := 0
+	for _, w := range workers {
+		if owned[w] == 0 {
+			t.Errorf("worker %s owns no keys out of %d — hashing is not spreading", w, n)
+		}
+		total += owned[w]
+	}
+	if total != n {
+		t.Fatalf("shard sizes sum to %d, want %d", total, n)
+	}
+}
+
+// TestShardRouterOrderIrrelevant: the assignment is a function of the
+// worker *set*; listing order and duplicates must not move any key.
+func TestShardRouterOrderIrrelevant(t *testing.T) {
+	a := server.NewShardRouter([]string{"w1", "w2", "w3"})
+	b := server.NewShardRouter([]string{"w3", "w1", "w2", "w1", ""})
+	if !reflect.DeepEqual(a.Workers(), b.Workers()) {
+		t.Fatalf("worker sets differ: %v vs %v", a.Workers(), b.Workers())
+	}
+	for i := 0; i < 200; i++ {
+		wa, _ := a.Assign(key(i))
+		wb, _ := b.Assign(key(i))
+		if wa != wb {
+			t.Fatalf("key %d moved with listing order: %s vs %s", i, wa, wb)
+		}
+	}
+}
+
+// TestShardRouterMinimalMovement: removing one worker relocates only
+// that worker's keys.
+func TestShardRouterMinimalMovement(t *testing.T) {
+	workers := []string{"w1", "w2", "w3", "w4", "w5"}
+	full := server.NewShardRouter(workers)
+	for _, dead := range workers {
+		var rest []string
+		for _, w := range workers {
+			if w != dead {
+				rest = append(rest, w)
+			}
+		}
+		shrunk := server.NewShardRouter(rest)
+		moved := 0
+		for i := 0; i < 500; i++ {
+			before, _ := full.Assign(key(i))
+			after, _ := shrunk.Assign(key(i))
+			if before != dead {
+				if after != before {
+					t.Fatalf("removing %s moved key %d from %s to %s", dead, i, before, after)
+				}
+				continue
+			}
+			moved++
+			if after == dead {
+				t.Fatalf("key %d still assigned to removed worker %s", i, dead)
+			}
+		}
+		if moved == 0 {
+			t.Errorf("worker %s owned nothing out of 500 keys", dead)
+		}
+	}
+}
+
+// TestShardRouterRanked: Ranked is a permutation of the worker set
+// headed by Assign — the fallback order requeues and hedges walk.
+func TestShardRouterRanked(t *testing.T) {
+	r := server.NewShardRouter([]string{"w1", "w2", "w3", "w4"})
+	for i := 0; i < 100; i++ {
+		ranked := r.Ranked(key(i))
+		owner, _ := r.Assign(key(i))
+		if ranked[0] != owner {
+			t.Fatalf("Ranked[0]=%s, Assign=%s", ranked[0], owner)
+		}
+		s := append([]string(nil), ranked...)
+		sort.Strings(s)
+		if !reflect.DeepEqual(s, r.Workers()) {
+			t.Fatalf("Ranked is not a permutation of the worker set: %v", ranked)
+		}
+	}
+}
+
+func TestShardRouterEmpty(t *testing.T) {
+	r := server.NewShardRouter(nil)
+	if _, ok := r.Assign(key(0)); ok {
+		t.Fatal("empty router assigned a key")
+	}
+	if got := r.Ranked(key(0)); len(got) != 0 {
+		t.Fatalf("empty router ranked %v", got)
+	}
+}
+
+// FuzzShardRouter fuzzes the three cluster-critical properties over
+// arbitrary worker names and shard keys: every key is assigned to
+// exactly one worker of the set, the assignment is stable under any
+// permutation of the worker list, and removing a worker moves only the
+// keys that worker owned.
+func FuzzShardRouter(f *testing.F) {
+	f.Add(uint8(3), "node", "sha256:d00d", "G17", uint64(1), uint8(0))
+	f.Add(uint8(1), "w", "", "", uint64(42), uint8(7))
+	f.Add(uint8(16), "host:90", "sha256:ffff", "out[3]", uint64(1<<60), uint8(200))
+	f.Fuzz(func(t *testing.T, nWorkers uint8, salt, hash, sink string, permSeed uint64, removeIdx uint8) {
+		n := int(nWorkers)%16 + 1
+		workers := make([]string, n)
+		for i := range workers {
+			workers[i] = fmt.Sprintf("w%d-%s", i, salt)
+		}
+		r := server.NewShardRouter(workers)
+		k := server.ShardKey{Hash: hash, Sink: sink}
+
+		// Exactly once: assigned, and to a member of the set.
+		owner, ok := r.Assign(k)
+		if !ok {
+			t.Fatalf("key unassigned over %d workers", n)
+		}
+		members := map[string]bool{}
+		for _, w := range r.Workers() {
+			members[w] = true
+		}
+		if !members[owner] {
+			t.Fatalf("assigned to %q, not in the set %v", owner, r.Workers())
+		}
+
+		// Permutation stability.
+		perm := append([]string(nil), workers...)
+		rng := rand.New(rand.NewSource(int64(permSeed)))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if got, _ := server.NewShardRouter(perm).Assign(k); got != owner {
+			t.Fatalf("permuted worker list moved the key: %q vs %q", got, owner)
+		}
+
+		// Ranked is a permutation of the set headed by the owner.
+		ranked := r.Ranked(k)
+		if len(ranked) != len(r.Workers()) || ranked[0] != owner {
+			t.Fatalf("Ranked %v inconsistent with Assign %q", ranked, owner)
+		}
+		seen := map[string]bool{}
+		for _, w := range ranked {
+			if seen[w] || !members[w] {
+				t.Fatalf("Ranked %v repeats or invents workers", ranked)
+			}
+			seen[w] = true
+		}
+
+		// Minimal movement on removal.
+		if len(r.Workers()) > 1 {
+			dead := r.Workers()[int(removeIdx)%len(r.Workers())]
+			var rest []string
+			for _, w := range r.Workers() {
+				if w != dead {
+					rest = append(rest, w)
+				}
+			}
+			after, ok := server.NewShardRouter(rest).Assign(k)
+			if !ok {
+				t.Fatal("key unassigned after removal")
+			}
+			if dead != owner && after != owner {
+				t.Fatalf("removing non-owner %q moved the key %q → %q", dead, owner, after)
+			}
+			if dead == owner && after == dead {
+				t.Fatalf("key still assigned to removed worker %q", dead)
+			}
+			if dead == owner && after != ranked[1] {
+				t.Fatalf("reassignment %q skipped the rank order (want %q)", after, ranked[1])
+			}
+		}
+	})
+}
