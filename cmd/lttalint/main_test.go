@@ -1,11 +1,15 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // TestVettoolProtocol drives the built binary through cmd/go's real
@@ -77,4 +81,91 @@ func Later(t waveform.Time) waveform.Time { return t.Add(1) }
 	if out, err := vet("./good/"); err != nil {
 		t.Errorf("go vet on the clean package failed: %v\n%s", err, out)
 	}
+
+	list := exec.Command(tool, "-list")
+	out2, err := list.Output()
+	if err != nil {
+		t.Fatalf("lttalint -list: %v", err)
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(string(out2), a.Name+"\t") {
+			t.Errorf("lttalint -list output missing analyzer %s:\n%s", a.Name, out2)
+		}
+	}
+	listJSON := exec.Command(tool, "-list", "-json")
+	out3, err := listJSON.Output()
+	if err != nil {
+		t.Fatalf("lttalint -list -json: %v", err)
+	}
+	if !strings.Contains(string(out3), `"name": "lockguard"`) {
+		t.Errorf("lttalint -list -json output not in the expected shape:\n%s", out3)
+	}
+}
+
+const (
+	tableBegin = "<!-- lttalint -list: begin"
+	tableEnd   = "<!-- lttalint -list: end"
+)
+
+// TestReadmeLintingTable pins README's Linting table to the live
+// analyzer registry (the same data `lttalint -list` prints): adding,
+// removing, or re-documenting an analyzer without regenerating the
+// table fails here instead of drifting silently.
+func TestReadmeLintingTable(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(data)
+	begin := strings.Index(readme, tableBegin)
+	end := strings.Index(readme, tableEnd)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("README.md lacks the %q/%q markers", tableBegin, tableEnd)
+	}
+	var got []string
+	for _, line := range strings.Split(readme[begin:end], "\n") {
+		if strings.HasPrefix(line, "| `") {
+			got = append(got, strings.TrimSpace(line))
+		}
+	}
+
+	analyzers := analysis.All()
+	sort.Slice(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
+	var want []string
+	for _, a := range analyzers {
+		want = append(want, fmt.Sprintf("| `%s` | %s |", a.Name, docLine(a.Doc)))
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("README table has %d analyzer rows, registry has %d:\nREADME:\n%s\nregistry:\n%s",
+			len(got), len(want), strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("README table row %d drifted:\n  have %s\n  want %s\n(regenerate from `lttalint -list`)",
+				i, got[i], want[i])
+		}
+	}
+}
+
+// TestAnalyzerDocs keeps -list (and therefore the README table)
+// renderable: every registered analyzer needs a non-empty one-line
+// doc that doesn't break the markdown table.
+func TestAnalyzerDocs(t *testing.T) {
+	for _, a := range analysis.All() {
+		doc := docLine(a.Doc)
+		if strings.TrimSpace(doc) == "" {
+			t.Errorf("analyzer %s has no one-line doc", a.Name)
+		}
+		if strings.Contains(doc, "|") {
+			t.Errorf("analyzer %s doc line contains %q, which breaks the README table: %s", a.Name, "|", doc)
+		}
+	}
+}
+
+func docLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		return doc[:i]
+	}
+	return doc
 }

@@ -5,7 +5,10 @@
 package all
 
 import (
+	_ "repro/internal/analysis/passes/atomicmix"
 	_ "repro/internal/analysis/passes/ctxflow"
+	_ "repro/internal/analysis/passes/deferunlock"
+	_ "repro/internal/analysis/passes/lockguard"
 	_ "repro/internal/analysis/passes/mapdeterminism"
 	_ "repro/internal/analysis/passes/preparedmut"
 	_ "repro/internal/analysis/passes/soaalias"

@@ -1,0 +1,425 @@
+// Package cfg builds lightweight intra-procedural control-flow graphs
+// over go/ast function bodies and runs generic forward dataflow
+// analyses on them. It is the shared substrate of the flow-sensitive
+// lttalint passes (lockguard, deferunlock): pure syntax, no type
+// information, sized for lint-grade precision rather than compiler
+// completeness.
+//
+// A Graph is a set of basic blocks. Each block holds the statements
+// and branch conditions it executes, in order; a block whose Cond is
+// non-nil ends in a two-way branch whose first successor is the true
+// edge and second the false edge, which is what lets an analysis
+// refine facts across `if mu.TryLock()` style conditions. Return
+// statements and calls to the panic builtin edge to the synthetic
+// Exit block, so "every path to function exit" is exactly "every path
+// to Exit".
+//
+// Supported control flow: if/else, for (including range), switch and
+// type switch (including fallthrough), select, labeled break/continue,
+// goto, defer (kept as an ordinary node — analyses decide what a
+// registered defer means for their lattice), and panic termination.
+// Function literals are NOT entered: a FuncLit body is a separate
+// function with its own graph, and analyses are expected to skip
+// FuncLit subtrees inside transfer functions.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: straight-line nodes followed by zero or
+// more successor edges.
+type Block struct {
+	Index int
+	// Nodes are the statements and condition expressions executed by
+	// the block, in order. Compound statements never appear here —
+	// only their evaluated parts do (an if's condition, a switch's
+	// tag), so a transfer function may inspect a node's whole subtree
+	// without seeing a nested body.
+	Nodes []ast.Node
+	// Cond, when non-nil, is the branch condition evaluated last in
+	// the block: Succs[0] is taken when it is true, Succs[1] when
+	// false.
+	Cond  ast.Expr
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the synthetic sink reached by falling off the body, by
+	// every return statement, and by every panic call.
+	Exit *Block
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock()
+	g.Exit = &Block{}
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, g.Exit)
+	}
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+// frame is one enclosing breakable construct (loop, switch, select).
+type frame struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil while building unreachable code
+	frames []frame
+	labels map[string]*Block // goto targets (created on demand)
+	// nextLabel is the pending label of a labeled loop/switch/select,
+	// consumed by the frame push of the labeled statement.
+	nextLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) { from.Succs = append(from.Succs, to) }
+
+// add appends a node to the current block, starting a fresh
+// (unreachable) block when control cannot reach here.
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// moveTo finishes the current block with an edge to next and
+// continues there.
+func (b *builder) moveTo(next *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, next)
+	}
+	b.cur = next
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a frame push.
+func (b *builder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.nextLabel = ""
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		if b.cur == nil { // defensive; add() guarantees non-nil
+			return
+		}
+		cond := b.cur
+		cond.Cond = s.Cond
+		then := b.newBlock()
+		b.edge(cond, then) // Succs[0]: true
+		after := b.newBlock()
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB) // Succs[1]: false
+			b.cur = then
+			b.stmt(s.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+			b.cur = elseB
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else {
+			b.edge(cond, after) // Succs[1]: false
+			b.cur = then
+			b.stmt(s.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.moveTo(head)
+		body := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.Cond = s.Cond
+			b.edge(head, body)  // true
+			b.edge(head, after) // false
+		} else {
+			b.edge(head, body)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, cont)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		// The range operand is evaluated once, before the loop; the
+		// per-iteration key/value bindings are treated as local and
+		// carry no analysis-relevant effects.
+		b.add(s.X)
+		head := b.newBlock()
+		b.moveTo(head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.frames = append(b.frames, frame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		head := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, brk: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no way onward.
+			b.cur = nil
+			return
+		}
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.nextLabel = name
+			b.stmt(s.Stmt)
+		default:
+			// A goto target: start (or adopt) the label's block.
+			blk := b.labelBlock(name)
+			b.moveTo(blk)
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findFrame(s.Label, false); t != nil {
+				if b.cur != nil {
+					b.edge(b.cur, t.brk)
+				}
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findFrame(s.Label, true); t != nil {
+				if b.cur != nil {
+					b.edge(b.cur, t.cont)
+				}
+			}
+			b.cur = nil
+		case token.GOTO:
+			if s.Label != nil {
+				blk := b.labelBlock(s.Label.Name)
+				if b.cur != nil {
+					b.edge(b.cur, blk)
+				}
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled (and consumed) by switchStmt; a stray one is a
+			// parse artefact — drop control conservatively.
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Straight-line statement (assignment, expression, declaration,
+		// send, inc/dec, defer, go): one node. A panic call terminates
+		// the path into Exit, where registered defers still apply.
+		b.add(s)
+		if isPanic(s) {
+			b.edge(b.cur, b.g.Exit)
+			b.cur = nil
+		}
+	}
+}
+
+// switchStmt builds expression and type switches: head evaluates
+// init/tag, every case body is a successor of the head, fallthrough
+// chains a body into the next one, and a missing default adds the
+// skip edge head → after.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, frame{label: label, brk: after})
+
+	clauses := body.List
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(head, bodies[i])
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		stmts := cc.Body
+		fellThrough := false
+		for _, st := range stmts {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(bodies) && b.cur != nil {
+					b.edge(b.cur, bodies[i+1])
+				}
+				b.cur = nil
+				fellThrough = true
+				break
+			}
+			b.stmt(st)
+		}
+		if !fellThrough && b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// labelBlock returns (creating on demand) the block a goto label
+// lands on.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// findFrame resolves a break/continue target; label may be nil.
+func (b *builder) findFrame(label *ast.Ident, needCont bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPanic reports whether the statement is a call to the panic
+// builtin (syntactically — the builder has no type information, and a
+// shadowed panic would merely cost a little precision).
+func isPanic(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

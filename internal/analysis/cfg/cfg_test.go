@@ -1,0 +1,454 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The tests run a tiny "calls seen so far" analysis over hand-written
+// bodies: the fact is the set of zero-argument function names already
+// called, joined by intersection (must) or union (may). Checking the
+// fact observed immediately before selected calls pins down the edge
+// structure of the graph without depending on block numbering.
+
+type callSet map[string]bool
+
+func (s callSet) with(name string) callSet {
+	out := make(callSet, len(s)+1)
+	for k := range s {
+		out[k] = true
+	}
+	out[name] = true
+	return out
+}
+
+func (s callSet) String() string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+func intersect(a, b callSet) callSet {
+	out := callSet{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func union(a, b callSet) callSet {
+	out := callSet{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func setsEqual(a, b callSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// calledName returns the function name when n is a statement of the
+// form `name()`.
+func calledName(n ast.Node) (string, bool) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func transfer(n ast.Node, f callSet) callSet {
+	if name, ok := calledName(n); ok {
+		return f.with(name)
+	}
+	return f
+}
+
+func buildGraph(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+func run(g *Graph, join func(a, b callSet) callSet, branch func(cond ast.Expr, f callSet) (callSet, callSet)) *Result[callSet] {
+	fl := Flow[callSet]{
+		Init:     callSet{},
+		Join:     join,
+		Equal:    setsEqual,
+		Transfer: transfer,
+		Branch:   branch,
+	}
+	return fl.Forward(g)
+}
+
+// before collects, for every `name()` statement reached by the flow,
+// the fact in force just before it.
+func before(g *Graph, res *Result[callSet]) map[string]callSet {
+	out := map[string]callSet{}
+	for _, blk := range g.Blocks {
+		res.Walk(blk, func(n ast.Node, f callSet) {
+			if name, ok := calledName(n); ok {
+				if _, seen := out[name]; !seen {
+					out[name] = f
+				}
+			}
+		})
+	}
+	return out
+}
+
+func wantBefore(t *testing.T, got map[string]callSet, call string, want ...string) {
+	t.Helper()
+	f, ok := got[call]
+	if !ok {
+		t.Fatalf("call %s() never reached by flow", call)
+	}
+	w := callSet{}
+	for _, n := range want {
+		w[n] = true
+	}
+	if !setsEqual(f, w) {
+		t.Errorf("before %s(): got %v, want %v", call, f, w)
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := buildGraph(t, `
+		a()
+		if cond {
+			b()
+		} else {
+			c()
+		}
+		d()
+	`)
+	got := before(g, run(g, intersect, nil))
+	wantBefore(t, got, "b", "a")
+	wantBefore(t, got, "c", "a")
+	wantBefore(t, got, "d", "a") // b ∩ c drops both arms
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := buildGraph(t, `
+		if cond {
+			b()
+		}
+		d()
+	`)
+	got := before(g, run(g, intersect, nil))
+	wantBefore(t, got, "d") // skip edge: must-set empty
+	got = before(g, run(g, union, nil))
+	wantBefore(t, got, "d", "b")
+}
+
+func TestBranchRefinement(t *testing.T) {
+	g := buildGraph(t, `
+		if cond {
+			b()
+		} else {
+			c()
+		}
+	`)
+	branch := func(cond ast.Expr, f callSet) (callSet, callSet) {
+		return f.with("TRUE"), f.with("FALSE")
+	}
+	got := before(g, run(g, intersect, branch))
+	wantBefore(t, got, "b", "TRUE")
+	wantBefore(t, got, "c", "FALSE")
+}
+
+func TestForLoop(t *testing.T) {
+	g := buildGraph(t, `
+		a()
+		for i := 0; i < 10; i++ {
+			b()
+		}
+		c()
+	`)
+	got := before(g, run(g, intersect, nil))
+	wantBefore(t, got, "b", "a") // first iteration ∩ later iterations
+	wantBefore(t, got, "c", "a") // zero-iteration path ∩ loop path
+}
+
+func TestForBreak(t *testing.T) {
+	g := buildGraph(t, `
+		for {
+			a()
+			if cond {
+				break
+			}
+			b()
+		}
+		d()
+	`)
+	got := before(g, run(g, intersect, nil))
+	wantBefore(t, got, "d", "a") // every path to d passed a; b only on some
+	if _, ok := run(g, intersect, nil).Exit(g); !ok {
+		t.Fatal("exit should be reachable via break")
+	}
+}
+
+func TestForContinue(t *testing.T) {
+	g := buildGraph(t, `
+		for i := 0; i < 10; i++ {
+			if cond {
+				continue
+			}
+			b()
+		}
+		c()
+	`)
+	got := before(g, run(g, union, nil))
+	wantBefore(t, got, "c", "b")
+	// Under must-join the continue path keeps b() out of its own
+	// entry fact: the first iteration has not called it.
+	got = before(g, run(g, intersect, nil))
+	wantBefore(t, got, "b")
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildGraph(t, `
+		for range xs {
+			a()
+		}
+		b()
+	`)
+	mustGot := before(g, run(g, intersect, nil))
+	wantBefore(t, mustGot, "b") // zero-iteration path exists
+	mayGot := before(g, run(g, union, nil))
+	wantBefore(t, mayGot, "b", "a")
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildGraph(t, `
+		switch x {
+		case 1:
+			a()
+			fallthrough
+		case 2:
+			b()
+		default:
+			c()
+		}
+		d()
+	`)
+	got := before(g, run(g, union, nil))
+	wantBefore(t, got, "b", "a") // only the fallthrough edge carries a
+	wantBefore(t, got, "c")
+	wantBefore(t, got, "d", "a", "b", "c")
+}
+
+func TestSwitchNoDefaultSkipEdge(t *testing.T) {
+	g := buildGraph(t, `
+		a()
+		switch x {
+		case 1:
+			b()
+		}
+		d()
+	`)
+	got := before(g, run(g, intersect, nil))
+	wantBefore(t, got, "d", "a") // not b: the no-match edge skips it
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := buildGraph(t, `
+		switch v := x.(type) {
+		case int:
+			_ = v
+			a()
+		default:
+			b()
+		}
+		c()
+	`)
+	got := before(g, run(g, union, nil))
+	wantBefore(t, got, "c", "a", "b")
+}
+
+func TestSelect(t *testing.T) {
+	g := buildGraph(t, `
+		select {
+		case <-ch:
+			a()
+		case v := <-ch2:
+			_ = v
+			b()
+		}
+		c()
+	`)
+	got := before(g, run(g, union, nil))
+	wantBefore(t, got, "c", "a", "b")
+}
+
+func TestReturnAndPanicReachExit(t *testing.T) {
+	g := buildGraph(t, `
+		if cond {
+			a()
+			return
+		}
+		b()
+		panic("boom")
+	`)
+	res := run(g, union, nil)
+	f, ok := res.Exit(g)
+	if !ok {
+		t.Fatal("exit unreachable")
+	}
+	want := callSet{"a": true, "b": true}
+	if !setsEqual(f, want) {
+		t.Errorf("exit fact %v, want %v", f, want)
+	}
+	// Code after panic is dead: the must-view at exit is empty only
+	// because the two terminating paths disagree, not because of a
+	// spurious fallthrough edge.
+	mres := run(g, intersect, nil)
+	mf, _ := mres.Exit(g)
+	if len(mf) != 0 {
+		t.Errorf("must exit fact %v, want {}", mf)
+	}
+}
+
+func TestUnreachableExit(t *testing.T) {
+	g := buildGraph(t, `
+		for {
+			a()
+		}
+	`)
+	if _, ok := run(g, union, nil).Exit(g); ok {
+		t.Fatal("exit of an infinite loop should be unreachable")
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := buildGraph(t, `
+		a()
+		goto L
+		b()
+	L:
+		c()
+	`)
+	got := before(g, run(g, union, nil))
+	wantBefore(t, got, "c", "a")
+	if _, reached := got["b"]; reached {
+		t.Fatal("b() is dead code and must not be reached by the flow")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildGraph(t, `
+	outer:
+		for {
+			for {
+				a()
+				break outer
+			}
+		}
+		b()
+	`)
+	got := before(g, run(g, union, nil))
+	wantBefore(t, got, "b", "a")
+}
+
+func TestLabeledContinue(t *testing.T) {
+	g := buildGraph(t, `
+	outer:
+		for i := 0; i < 2; i++ {
+			for {
+				a()
+				continue outer
+			}
+		}
+		b()
+	`)
+	got := before(g, run(g, union, nil))
+	wantBefore(t, got, "b", "a")
+}
+
+func TestDeferIsAnOrdinaryNode(t *testing.T) {
+	g := buildGraph(t, `
+		defer u()
+		a()
+	`)
+	var defers int
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				defers++
+			}
+		}
+	}
+	if defers != 1 {
+		t.Fatalf("defer statements in graph: got %d, want 1", defers)
+	}
+}
+
+func TestCondTrueFalseEdgeOrder(t *testing.T) {
+	g := buildGraph(t, `
+		if cond {
+			b()
+		} else {
+			c()
+		}
+	`)
+	var condBlk *Block
+	for _, blk := range g.Blocks {
+		if blk.Cond != nil {
+			condBlk = blk
+			break
+		}
+	}
+	if condBlk == nil {
+		t.Fatal("no branching block found")
+	}
+	if len(condBlk.Succs) != 2 {
+		t.Fatalf("branch successors: got %d, want 2", len(condBlk.Succs))
+	}
+	nameIn := func(blk *Block) string {
+		for _, n := range blk.Nodes {
+			if name, ok := calledName(n); ok {
+				return name
+			}
+		}
+		return ""
+	}
+	if nameIn(condBlk.Succs[0]) != "b" || nameIn(condBlk.Succs[1]) != "c" {
+		t.Fatalf("edge order: Succs[0] leads to %q, Succs[1] to %q; want b, c",
+			nameIn(condBlk.Succs[0]), nameIn(condBlk.Succs[1]))
+	}
+}

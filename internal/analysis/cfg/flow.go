@@ -1,0 +1,99 @@
+package cfg
+
+import "go/ast"
+
+// Flow is a forward dataflow problem over a Graph. F is the fact
+// (lattice element) type; all callbacks must treat facts as
+// immutable values — Transfer and Branch return fresh facts rather
+// than mutating their arguments, so one fact may flow into several
+// successors.
+type Flow[F any] struct {
+	// Init is the fact at function entry.
+	Init F
+	// Join merges the facts of two converging paths.
+	Join func(a, b F) F
+	// Equal decides fixpoint convergence.
+	Equal func(a, b F) bool
+	// Transfer applies the effect of one block node.
+	Transfer func(n ast.Node, f F) F
+	// Branch, when non-nil, refines the fact along the true and false
+	// edges of a two-way branch on cond (e.g. `if mu.TryLock()`). It
+	// runs after Transfer has already processed cond as a node.
+	Branch func(cond ast.Expr, f F) (ift, iff F)
+}
+
+// Result holds the fixpoint of a Forward run.
+type Result[F any] struct {
+	flow Flow[F]
+	// In maps each reachable block to the fact at its start (the join
+	// over incoming edges). Unreachable blocks are absent.
+	In map[*Block]F
+}
+
+// Forward runs the worklist algorithm to a fixpoint and returns the
+// per-block entry facts. Termination requires the usual lattice
+// conditions: Join monotone with finite ascending chains for the
+// facts the transfer functions actually produce.
+func (fl Flow[F]) Forward(g *Graph) *Result[F] {
+	in := map[*Block]F{g.Entry: fl.Init}
+	queued := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		f := in[blk]
+		for _, n := range blk.Nodes {
+			f = fl.Transfer(n, f)
+		}
+
+		push := func(succ *Block, sf F) {
+			old, ok := in[succ]
+			if ok {
+				sf = fl.Join(old, sf)
+				if fl.Equal(old, sf) {
+					return
+				}
+			}
+			in[succ] = sf
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+		if blk.Cond != nil && len(blk.Succs) == 2 && fl.Branch != nil {
+			tf, ff := fl.Branch(blk.Cond, f)
+			push(blk.Succs[0], tf)
+			push(blk.Succs[1], ff)
+		} else {
+			for _, s := range blk.Succs {
+				push(s, f)
+			}
+		}
+	}
+	return &Result[F]{flow: fl, In: in}
+}
+
+// Walk replays the block's transfer sequence, calling visit with the
+// fact in force immediately before each node. Unreachable blocks are
+// skipped. This is how a checking pass pairs every statement with the
+// state it executes under.
+func (r *Result[F]) Walk(blk *Block, visit func(n ast.Node, before F)) {
+	f, ok := r.In[blk]
+	if !ok {
+		return
+	}
+	for _, n := range blk.Nodes {
+		visit(n, f)
+		f = r.flow.Transfer(n, f)
+	}
+}
+
+// Exit returns the fact at the synthetic exit block of g and whether
+// the exit is reachable at all (a function that ends every path in
+// panic-free infinite loops has an unreachable exit).
+func (r *Result[F]) Exit(g *Graph) (F, bool) {
+	f, ok := r.In[g.Exit]
+	return f, ok
+}

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// ignoreTarget parses src (no typechecking — the directive machinery
+// is purely syntactic) and returns a Target plus a marker lookup:
+// every line containing `/*N*/` is addressable by that number.
+func ignoreTarget(t *testing.T, src string) (*Target, func(marker string) token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignore_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := &Target{Fset: fset, Files: []*ast.File{f}}
+	return tgt, func(marker string) token.Pos {
+		i := strings.Index(src, "/*"+marker+"*/")
+		if i < 0 {
+			t.Fatalf("marker %q not in fixture", marker)
+		}
+		return fset.File(f.Pos()).Pos(i)
+	}
+}
+
+// reporterAt builds an analyzer that reports one diagnostic at each of
+// the given marker positions.
+func reporterAt(name string, positions ...token.Pos) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  name + " test reporter",
+		Run: func(p *Pass) error {
+			for _, pos := range positions {
+				p.Report(Diagnostic{Pos: pos, Message: "finding from " + name})
+			}
+			return nil
+		},
+	}
+}
+
+func findingsByAnalyzer(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Analyzer]++
+	}
+	return out
+}
+
+func TestIgnoreMultiAnalyzerDirective(t *testing.T) {
+	tgt, at := ignoreTarget(t, `package p
+
+var x = /*1*/ 0 //lttalint:ignore alpha,beta both are fixture noise
+
+var y = /*2*/ 0
+`)
+	// The directive names alpha and beta; gamma's finding on the same
+	// line must survive, as must alpha's finding on the unrelated line
+	// (a blank line below the directive keeps it out of covered range).
+	alpha := reporterAt("alpha", at("1"), at("2"))
+	beta := reporterAt("beta", at("1"))
+	gamma := reporterAt("gamma", at("1"))
+	fs, err := RunAnalyzers(tgt, []*Analyzer{alpha, beta, gamma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := findingsByAnalyzer(fs)
+	if got["alpha"] != 1 || got["beta"] != 0 || got["gamma"] != 1 || got["lttalint"] != 0 {
+		t.Errorf("findings = %v, want alpha:1 (line 4 only), beta:0, gamma:1, no directive problems", got)
+	}
+}
+
+func TestIgnoreMissingJustification(t *testing.T) {
+	tgt, at := ignoreTarget(t, `package p
+
+var x = /*1*/ 0 //lttalint:ignore alpha
+var y = /*2*/ 0 //lttalint:ignore
+`)
+	alpha := reporterAt("alpha", at("1"), at("2"))
+	fs, err := RunAnalyzers(tgt, []*Analyzer{alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unjustified directive suppresses nothing and is itself
+	// reported — once per directive, plus the two surviving findings.
+	got := findingsByAnalyzer(fs)
+	if got["alpha"] != 2 || got["lttalint"] != 2 {
+		t.Errorf("findings = %v, want alpha:2 and lttalint:2 (both directives unjustified)", got)
+	}
+	for _, f := range fs {
+		if f.Analyzer == "lttalint" && !strings.Contains(f.Message, "justification") {
+			t.Errorf("directive problem lacks the justification hint: %s", f.Message)
+		}
+	}
+}
+
+func TestIgnoreStaleness(t *testing.T) {
+	tgt, _ := ignoreTarget(t, `package p
+
+//lttalint:ignore alpha suppresses nothing on either line
+var x = 0
+
+//lttalint:ignore omega aimed at an analyzer outside this run
+var y = 0
+`)
+	alpha := reporterAt("alpha") // runs, reports nothing
+	fs, err := RunAnalyzers(tgt, []*Analyzer{alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The alpha directive is stale (alpha ran and it caught nothing);
+	// the omega directive must NOT be called stale, because omega was
+	// not part of this run and a single-analyzer harness cannot judge
+	// directives aimed at the rest of the suite.
+	var stale []Finding
+	for _, f := range fs {
+		if strings.Contains(f.Message, "stale") {
+			stale = append(stale, f)
+		}
+	}
+	if len(stale) != 1 || stale[0].Position.Line != 3 {
+		t.Errorf("stale directives = %v, want exactly the alpha directive on line 3", stale)
+	}
+}
+
+func TestIgnorePlacement(t *testing.T) {
+	tgt, at := ignoreTarget(t, `package p
+
+//lttalint:ignore alpha the line below is fixture noise
+var a = /*1*/ 0
+
+var b = /*2*/ 0 //lttalint:ignore alpha end-of-line placement
+
+var c = /*3*/ 0
+//lttalint:ignore alpha a directive BELOW the line must not reach up
+`)
+	alpha := reporterAt("alpha", at("1"), at("2"), at("3"))
+	fs, err := RunAnalyzers(tgt, []*Analyzer{alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var surviving []int
+	var staleLines []int
+	for _, f := range fs {
+		switch {
+		case f.Analyzer == "alpha":
+			surviving = append(surviving, f.Position.Line)
+		case strings.Contains(f.Message, "stale"):
+			staleLines = append(staleLines, f.Position.Line)
+		}
+	}
+	// Line-above and end-of-line placements suppress; the directive
+	// below line 8 covers only itself and line 9, so the line-8 finding
+	// survives and that directive is stale.
+	if len(surviving) != 1 || surviving[0] != 8 {
+		t.Errorf("surviving alpha findings on lines %v, want [8]", surviving)
+	}
+	if len(staleLines) != 1 || staleLines[0] != 9 {
+		t.Errorf("stale directives on lines %v, want [9]", staleLines)
+	}
+}
+
+func TestIgnoreAllDirective(t *testing.T) {
+	tgt, at := ignoreTarget(t, `package p
+
+var x = /*1*/ 0 //lttalint:ignore all fixture line is exempt from the whole suite
+`)
+	alpha := reporterAt("alpha", at("1"))
+	beta := reporterAt("beta", at("1"))
+	fs, err := RunAnalyzers(tgt, []*Analyzer{alpha, beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("findings = %v, want none: \"all\" covers every analyzer", fs)
+	}
+}

@@ -1,0 +1,514 @@
+// Package locks provides the shared mutex-reasoning vocabulary of the
+// flow-sensitive lttalint passes (lockguard, deferunlock): classifying
+// sync.Mutex/RWMutex call sites, canonicalizing lock expressions to
+// stable intra-procedural paths, and an immutable held-lock set that
+// slots into a cfg.Flow lattice.
+package locks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Mode distinguishes exclusive from shared (reader) acquisition.
+type Mode int
+
+const (
+	Write Mode = iota
+	Read
+)
+
+func (m Mode) String() string {
+	if m == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// OpKind classifies what a mutex call site does.
+type OpKind int
+
+const (
+	Acquire    OpKind = iota // Lock, RLock
+	Release                  // Unlock, RUnlock
+	TryAcquire               // TryLock, TryRLock — acquires only on the true branch
+)
+
+// Op is one classified mutex operation.
+type Op struct {
+	Kind  OpKind
+	Mode  Mode
+	Mutex ast.Expr // receiver expression of the call
+	Call  *ast.CallExpr
+}
+
+// IsMutexType reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func IsMutexType(t types.Type) bool {
+	return analysis.IsType(t, "sync", "Mutex") || analysis.IsType(t, "sync", "RWMutex")
+}
+
+// ClassifyCall reports whether call invokes a locking method of
+// sync.Mutex or sync.RWMutex and, if so, which operation it is.
+func ClassifyCall(info *types.Info, call *ast.CallExpr) (Op, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || analysis.PkgPathBase(fn.Pkg().Path()) != "sync" {
+		return Op{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !IsMutexType(sig.Recv().Type()) {
+		return Op{}, false
+	}
+	op := Op{Mutex: sel.X, Call: call}
+	switch fn.Name() {
+	case "Lock":
+		op.Kind, op.Mode = Acquire, Write
+	case "Unlock":
+		op.Kind, op.Mode = Release, Write
+	case "RLock":
+		op.Kind, op.Mode = Acquire, Read
+	case "RUnlock":
+		op.Kind, op.Mode = Release, Read
+	case "TryLock":
+		op.Kind, op.Mode = TryAcquire, Write
+	case "TryRLock":
+		op.Kind, op.Mode = TryAcquire, Read
+	default: // RLocker etc.
+		return Op{}, false
+	}
+	return op, true
+}
+
+// Ref is the canonical identity of a lock (or lock-guarded field base)
+// expression within one function.
+type Ref struct {
+	// Key identifies the concrete instance: the root variable's
+	// object identity followed by the selected field names. Empty for
+	// owner-only references (type-qualified guard annotations).
+	Key string
+	// Display is the human-readable path, e.g. "co.mu".
+	Display string
+	// Owner is the *types.TypeName of the named struct whose field
+	// the path ends in, when that is known; Field is that field's
+	// name. Owner-level identity lets a held lock satisfy a
+	// type-qualified guard annotation (Coordinator.mu form) even when
+	// the instance paths differ.
+	Owner types.Object
+	Field string
+	// Root is the canonical root variable (after alias resolution);
+	// nil for owner-only refs.
+	Root types.Object
+}
+
+// Resolve canonicalizes an expression of the form root.f1.f2…
+// (identifier root, field selections only) into a Ref, following
+// single-assignment local aliases. ok is false for anything else —
+// index expressions, calls, literals — which the analyses then treat
+// conservatively.
+func Resolve(info *types.Info, aliases map[types.Object]types.Object, e ast.Expr) (Ref, bool) {
+	var fields []string
+	var outer *ast.SelectorExpr
+	e = unparen(e)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if outer == nil {
+				outer = x
+			}
+			fields = append([]string{x.Sel.Name}, fields...)
+			e = unparen(x.X)
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			if obj == nil {
+				return Ref{}, false
+			}
+			if _, isPkg := obj.(*types.PkgName); isPkg {
+				// Cross-package mutexes are out of scope.
+				return Ref{}, false
+			}
+			if a, ok := aliases[obj]; ok {
+				obj = a
+			}
+			key := fmt.Sprintf("v%d", obj.Pos())
+			for _, f := range fields {
+				key += "." + f
+			}
+			r := Ref{
+				Key:     key,
+				Display: strings.Join(append([]string{obj.Name()}, fields...), "."),
+				Root:    obj,
+			}
+			if outer != nil {
+				if sel, ok := info.Selections[outer]; ok && sel.Kind() == types.FieldVal {
+					if n := analysis.AsNamed(sel.Recv()); n != nil {
+						r.Owner = n.Obj()
+						r.Field = outer.Sel.Name
+					}
+				}
+			}
+			return r, true
+		default:
+			return Ref{}, false
+		}
+	}
+}
+
+// OwnerRef builds an owner-only Ref for a type-qualified lock
+// ("guarded by T.mu" or a "caller holds T.mu" precondition): it
+// matches any held lock that is field `field` of the named type.
+func OwnerRef(typeName types.Object, field string) Ref {
+	return Ref{
+		Display: typeName.Name() + "." + field,
+		Owner:   typeName,
+		Field:   field,
+	}
+}
+
+// Aliases computes the single-assignment ident→ident aliases of a
+// function body: `ws = w` (with ws never otherwise assigned nor
+// address-taken, and w itself stable) makes ws canonicalize to w, so
+// `ws.mu` and `w.mu` name the same lock. Deliberately minimal — one
+// hop chains are resolved, anything mutated or escaping is dropped.
+func Aliases(info *types.Info, body ast.Node) map[types.Object]types.Object {
+	assigns := map[types.Object]int{}
+	aliasRHS := map[types.Object]types.Object{}
+	unsafe := map[types.Object]bool{} // address taken or multi-value binding
+
+	lhsObj := func(e ast.Expr) types.Object {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if v, ok := info.ObjectOf(id).(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	record := func(lhs, rhs ast.Expr) {
+		obj := lhsObj(lhs)
+		if obj == nil {
+			return
+		}
+		assigns[obj]++
+		if rhs == nil {
+			unsafe[obj] = true
+			return
+		}
+		if rid, ok := unparen(rhs).(*ast.Ident); ok {
+			if robj, ok := info.ObjectOf(rid).(*types.Var); ok {
+				aliasRHS[obj] = robj
+				return
+			}
+		}
+		// Assigned from a non-ident: counted, not an alias edge.
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				for _, l := range n.Lhs {
+					record(l, nil)
+				}
+			}
+		case *ast.ValueSpec:
+			// `var x T` without a value is not a binding; with values
+			// it behaves like assignment.
+			if len(n.Values) == len(n.Names) {
+				for i, id := range n.Names {
+					record(id, n.Values[i])
+				}
+			} else if len(n.Values) > 0 {
+				for _, id := range n.Names {
+					record(id, nil)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				record(n.Key, nil)
+			}
+			if n.Value != nil {
+				record(n.Value, nil)
+			}
+		case *ast.IncDecStmt:
+			record(n.X, nil)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := lhsObj(n.X); obj != nil {
+					unsafe[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	out := map[types.Object]types.Object{}
+	for obj, robj := range aliasRHS {
+		if assigns[obj] != 1 || unsafe[obj] {
+			continue
+		}
+		// Chase the chain to a stable terminal, refusing cycles and
+		// targets that are reassigned or escape (those could name a
+		// different instance by the time the alias is used).
+		seen := map[types.Object]bool{obj: true}
+		target := robj
+		valid := true
+		for {
+			if unsafe[target] || assigns[target] > 1 || seen[target] {
+				valid = false
+				break
+			}
+			next, has := aliasRHS[target]
+			if !has {
+				break
+			}
+			seen[target] = true
+			target = next
+		}
+		if valid {
+			out[obj] = target
+		}
+	}
+	return out
+}
+
+// Lock is one held-lock entry.
+type Lock struct {
+	Ref  Ref
+	Mode Mode
+	Pos  token.Pos // acquisition site
+}
+
+func (l Lock) key() string {
+	var k string
+	if l.Ref.Key != "" {
+		k = "p:" + l.Ref.Key
+	} else if l.Ref.Owner != nil {
+		k = fmt.Sprintf("t:%d.%s", l.Ref.Owner.Pos(), l.Ref.Field)
+	} else {
+		k = "?:" + l.Ref.Display
+	}
+	if l.Mode == Read {
+		k += ":r"
+	}
+	return k
+}
+
+// Held is an immutable set of held locks; the zero value is the empty
+// set. All operations return fresh sets.
+type Held struct {
+	m map[string]Lock
+}
+
+// With returns h plus l (keeping the earliest acquisition position on
+// re-entry, which in Go would deadlock anyway but keeps reports
+// stable).
+func (h Held) With(l Lock) Held {
+	out := make(map[string]Lock, len(h.m)+1)
+	for k, v := range h.m {
+		out[k] = v
+	}
+	k := l.key()
+	if _, ok := out[k]; !ok {
+		out[k] = l
+	}
+	return Held{out}
+}
+
+// Without returns h minus the lock identified by ref/mode.
+func (h Held) Without(ref Ref, mode Mode) Held {
+	k := Lock{Ref: ref, Mode: mode}.key()
+	if _, ok := h.m[k]; !ok {
+		return h
+	}
+	out := make(map[string]Lock, len(h.m)-1)
+	for k2, v := range h.m {
+		if k2 != k {
+			out[k2] = v
+		}
+	}
+	return Held{out}
+}
+
+// Intersect keeps locks held in both sets (must-hold join).
+func (h Held) Intersect(o Held) Held {
+	out := map[string]Lock{}
+	for k, v := range h.m {
+		if _, ok := o.m[k]; ok {
+			out[k] = v
+		}
+	}
+	return Held{out}
+}
+
+// Union keeps locks held in either set (may-hold join).
+func (h Held) Union(o Held) Held {
+	out := make(map[string]Lock, len(h.m)+len(o.m))
+	for k, v := range h.m {
+		out[k] = v
+	}
+	for k, v := range o.m {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return Held{out}
+}
+
+func (h Held) Equal(o Held) bool {
+	if len(h.m) != len(o.m) {
+		return false
+	}
+	for k := range h.m {
+		if _, ok := o.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (h Held) Len() int { return len(h.m) }
+
+// All returns the held locks in unspecified order.
+func (h Held) All() []Lock {
+	out := make([]Lock, 0, len(h.m))
+	for _, v := range h.m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// HasPath reports whether the concrete lock instance keyed by
+// pathKey is held: in write mode when write is required, in either
+// mode for a read.
+func (h Held) HasPath(pathKey string, needWrite bool) bool {
+	if _, ok := h.m["p:"+pathKey]; ok {
+		return true
+	}
+	if !needWrite {
+		_, ok := h.m["p:"+pathKey+":r"]
+		return ok
+	}
+	return false
+}
+
+// HasOwner reports whether any held lock is field `field` of the
+// named type `owner` (matching both concrete-path entries that carry
+// owner identity and owner-only entries from holds preconditions).
+func (h Held) HasOwner(owner types.Object, field string, needWrite bool) bool {
+	for _, l := range h.m {
+		if l.Owner() == owner && l.Ref.Field == field {
+			if needWrite && l.Mode != Write {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Owner returns the owning type object of the lock's final field, or
+// nil.
+func (l Lock) Owner() types.Object { return l.Ref.Owner }
+
+// Apply folds the mutex operations of one CFG node into held.
+// Deferred operations do not change the held set — their effect is at
+// function exit — but are surfaced through onDefer when non-nil.
+// `go` statements and function-literal bodies are opaque: they run on
+// other goroutines or at other times.
+func Apply(info *types.Info, aliases map[types.Object]types.Object, n ast.Node, held Held, onDefer func(Op, Ref)) Held {
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		if op, ok := ClassifyCall(info, s.Call); ok && onDefer != nil {
+			if ref, rok := Resolve(info, aliases, op.Mutex); rok {
+				onDefer(op, ref)
+			}
+		}
+		return held
+	case *ast.GoStmt:
+		return held
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			op, ok := ClassifyCall(info, x)
+			if !ok {
+				return true
+			}
+			ref, rok := Resolve(info, aliases, op.Mutex)
+			if !rok {
+				return true
+			}
+			switch op.Kind {
+			case Acquire:
+				held = held.With(Lock{Ref: ref, Mode: op.Mode, Pos: x.Pos()})
+			case Release:
+				held = held.Without(ref, op.Mode)
+			}
+			// TryAcquire only takes effect on the true branch — see
+			// BranchTryLock.
+		}
+		return true
+	})
+	return held
+}
+
+// BranchTryLock refines a two-way branch: when cond is `x.TryLock()`
+// (possibly parenthesized or negated), the branch on which the call
+// returned true gains the lock.
+func BranchTryLock(info *types.Info, aliases map[types.Object]types.Object, cond ast.Expr, held Held) (tf, ff Held) {
+	tf, ff = held, held
+	pos := true
+	e := unparen(cond)
+	for {
+		u, ok := e.(*ast.UnaryExpr)
+		if !ok || u.Op != token.NOT {
+			break
+		}
+		pos = !pos
+		e = unparen(u.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	op, ok := ClassifyCall(info, call)
+	if !ok || op.Kind != TryAcquire {
+		return
+	}
+	ref, rok := Resolve(info, aliases, op.Mutex)
+	if !rok {
+		return
+	}
+	acquired := held.With(Lock{Ref: ref, Mode: op.Mode, Pos: call.Pos()})
+	if pos {
+		tf = acquired
+	} else {
+		ff = acquired
+	}
+	return
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

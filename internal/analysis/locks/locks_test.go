@@ -1,0 +1,291 @@
+package locks
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+const testSrc = `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (s *S) work(o *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.rw.RLock()
+	s.rw.RUnlock()
+	o.mu.Lock()
+	alias := s
+	alias.mu.Lock()
+	re := s
+	re = o
+	re.mu.Lock()
+	if s.mu.TryLock() {
+		s.n = 1
+	}
+	if !s.rw.TryRLock() {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Wait()
+}
+`
+
+func typecheck(t *testing.T) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", testSrc, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, file, info
+}
+
+// calls returns every CallExpr in source order.
+func calls(file *ast.File) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(file, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+func TestClassifyCall(t *testing.T) {
+	_, file, info := typecheck(t)
+	want := []struct {
+		kind OpKind
+		mode Mode
+		ok   bool
+	}{
+		{Acquire, Write, true},    // s.mu.Lock
+		{Release, Write, true},    // s.mu.Unlock
+		{Acquire, Read, true},     // s.rw.RLock
+		{Release, Read, true},     // s.rw.RUnlock
+		{Acquire, Write, true},    // o.mu.Lock
+		{Acquire, Write, true},    // alias.mu.Lock
+		{Acquire, Write, true},    // re.mu.Lock
+		{TryAcquire, Write, true}, // s.mu.TryLock
+		{TryAcquire, Read, true},  // s.rw.TryRLock
+		{0, 0, false},             // wg.Wait
+	}
+	cs := calls(file)
+	if len(cs) != len(want) {
+		t.Fatalf("call count: got %d, want %d", len(cs), len(want))
+	}
+	for i, c := range cs {
+		op, ok := ClassifyCall(info, c)
+		if ok != want[i].ok {
+			t.Errorf("call %d: classified=%v, want %v", i, ok, want[i].ok)
+			continue
+		}
+		if ok && (op.Kind != want[i].kind || op.Mode != want[i].mode) {
+			t.Errorf("call %d: got kind=%v mode=%v, want kind=%v mode=%v",
+				i, op.Kind, op.Mode, want[i].kind, want[i].mode)
+		}
+	}
+}
+
+func TestResolveAndAliases(t *testing.T) {
+	_, file, info := typecheck(t)
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok {
+			fn = f
+		}
+	}
+	aliases := Aliases(info, fn.Body)
+
+	cs := calls(file)
+	refAt := func(i int) Ref {
+		op, ok := ClassifyCall(info, cs[i])
+		if !ok {
+			t.Fatalf("call %d not a mutex op", i)
+		}
+		ref, ok := Resolve(info, aliases, op.Mutex)
+		if !ok {
+			t.Fatalf("call %d: mutex %v unresolvable", i, op.Mutex)
+		}
+		return ref
+	}
+
+	sMu := refAt(0)      // s.mu.Lock
+	sMuAgain := refAt(1) // s.mu.Unlock
+	oMu := refAt(4)      // o.mu.Lock
+	aliasMu := refAt(5)  // alias.mu.Lock — alias := s, single assignment
+	reMu := refAt(6)     // re.mu.Lock — re reassigned, no alias
+	if sMu.Key != sMuAgain.Key {
+		t.Errorf("same lock resolved to different keys: %q vs %q", sMu.Key, sMuAgain.Key)
+	}
+	if sMu.Key == oMu.Key {
+		t.Errorf("distinct roots share key %q", sMu.Key)
+	}
+	if aliasMu.Key != sMu.Key {
+		t.Errorf("single-assignment alias not canonicalized: %q vs %q", aliasMu.Key, sMu.Key)
+	}
+	if reMu.Key == sMu.Key || reMu.Key == oMu.Key {
+		t.Errorf("reassigned local %q must not alias either root", reMu.Key)
+	}
+	if sMu.Owner == nil || sMu.Owner.Name() != "S" || sMu.Field != "mu" {
+		t.Errorf("owner identity: got %v.%s, want S.mu", sMu.Owner, sMu.Field)
+	}
+	if sMu.Display != "s.mu" {
+		t.Errorf("display: got %q, want s.mu", sMu.Display)
+	}
+	if aliasMu.Display != "s.mu" {
+		t.Errorf("alias display: got %q, want canonical s.mu", aliasMu.Display)
+	}
+}
+
+func TestHeldSetOperations(t *testing.T) {
+	_, file, info := typecheck(t)
+	cs := calls(file)
+	op0, _ := ClassifyCall(info, cs[0]) // s.mu
+	op4, _ := ClassifyCall(info, cs[4]) // o.mu
+	ref0, _ := Resolve(info, nil, op0.Mutex)
+	ref4, _ := Resolve(info, nil, op4.Mutex)
+
+	var h Held
+	h1 := h.With(Lock{Ref: ref0, Mode: Write, Pos: 1})
+	h2 := h1.With(Lock{Ref: ref4, Mode: Write, Pos: 2})
+	if h.Len() != 0 || h1.Len() != 1 || h2.Len() != 2 {
+		t.Fatalf("With must not mutate: lens %d,%d,%d", h.Len(), h1.Len(), h2.Len())
+	}
+	if !h2.HasPath(ref0.Key, true) || !h2.HasPath(ref4.Key, true) {
+		t.Fatal("held locks not found by path")
+	}
+	h3 := h2.Without(ref0, Write)
+	if h3.HasPath(ref0.Key, false) || !h3.HasPath(ref4.Key, false) {
+		t.Fatal("Without removed the wrong entry")
+	}
+	if got := h1.Intersect(h2); got.Len() != 1 || !got.HasPath(ref0.Key, true) {
+		t.Fatalf("Intersect: got %d entries", got.Len())
+	}
+	if got := h1.Union(h3); got.Len() != 2 {
+		t.Fatalf("Union: got %d entries", got.Len())
+	}
+	if !h1.Equal(h2.Without(ref4, Write)) {
+		t.Fatal("Equal: equivalent sets reported unequal")
+	}
+
+	// Read-mode entries satisfy reads but not writes.
+	hr := h.With(Lock{Ref: ref0, Mode: Read, Pos: 3})
+	if hr.HasPath(ref0.Key, true) {
+		t.Fatal("read lock must not satisfy a write requirement")
+	}
+	if !hr.HasPath(ref0.Key, false) {
+		t.Fatal("read lock must satisfy a read requirement")
+	}
+
+	// Owner-level matching: a concrete s.mu entry satisfies the
+	// type-qualified owner (S, mu); an owner-only entry does too.
+	if !h1.HasOwner(ref0.Owner, "mu", true) {
+		t.Fatal("concrete entry should satisfy owner match")
+	}
+	ho := h.With(Lock{Ref: OwnerRef(ref0.Owner, "mu"), Mode: Write, Pos: 4})
+	if !ho.HasOwner(ref0.Owner, "mu", true) {
+		t.Fatal("owner-only entry should satisfy owner match")
+	}
+	if ho.HasPath(ref0.Key, false) {
+		t.Fatal("owner-only entry must not satisfy a concrete path")
+	}
+}
+
+func TestBranchTryLock(t *testing.T) {
+	_, file, info := typecheck(t)
+	var conds []ast.Expr
+	ast.Inspect(file, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			conds = append(conds, ifs.Cond)
+		}
+		return true
+	})
+	if len(conds) != 2 {
+		t.Fatalf("if statements: got %d, want 2", len(conds))
+	}
+
+	var h Held
+	// if s.mu.TryLock() — true branch holds.
+	tf, ff := BranchTryLock(info, nil, conds[0], h)
+	if tf.Len() != 1 || ff.Len() != 0 {
+		t.Fatalf("TryLock: true branch %d held, false branch %d held; want 1, 0", tf.Len(), ff.Len())
+	}
+	// if !s.rw.TryRLock() — false branch holds (in read mode).
+	tf, ff = BranchTryLock(info, nil, conds[1], h)
+	if tf.Len() != 0 || ff.Len() != 1 {
+		t.Fatalf("negated TryRLock: true branch %d held, false branch %d held; want 0, 1", tf.Len(), ff.Len())
+	}
+	for _, l := range ff.All() {
+		if l.Mode != Read {
+			t.Fatalf("TryRLock acquired mode %v, want read", l.Mode)
+		}
+	}
+}
+
+func TestApplyDeferAndFuncLit(t *testing.T) {
+	src := `package q
+
+import "sync"
+
+func f(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() { mu.Unlock() }()
+	cb := func() { mu.Unlock() }
+	_ = cb
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "q.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("q", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	fn := file.Decls[1].(*ast.FuncDecl)
+
+	var h Held
+	var deferred []Op
+	onDefer := func(op Op, ref Ref) { deferred = append(deferred, op) }
+	for _, s := range fn.Body.List {
+		h = Apply(info, nil, s, h, onDefer)
+	}
+	// The Lock is applied; the deferred Unlock, the goroutine's
+	// Unlock, and the closure's Unlock are not.
+	if h.Len() != 1 {
+		t.Fatalf("held after body: %d locks, want 1 (defer/go/funclit must be inert)", h.Len())
+	}
+	if len(deferred) != 1 || deferred[0].Kind != Release {
+		t.Fatalf("deferred ops: %d, want exactly the deferred Unlock", len(deferred))
+	}
+}

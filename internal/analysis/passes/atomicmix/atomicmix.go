@@ -1,0 +1,282 @@
+// Package atomicmix forbids mixing atomic and plain access to the
+// same field, the bug class behind torn counters and racy metric
+// snapshots (internal/obs histograms, server admission counters).
+//
+// Two field populations are enforced, package-wide:
+//
+//   - fields declared with a sync/atomic type (atomic.Int64,
+//     atomic.Uint64, atomic.Value, …) may only be used through their
+//     methods (x.f.Load(), x.f.Add(1), a method value like x.f.Load,
+//     or &x.f to pass the atomic itself); any other use — copying the
+//     value out, overwriting the struct — defeats the type.
+//   - fields of plain integer/pointer type that are anywhere passed
+//     to a sync/atomic function (atomic.AddInt64(&x.f, 1)) must be
+//     accessed that way everywhere in the package: a single plain
+//     read or write (or an escaping &x.f outside a sync/atomic call)
+//     reintroduces the race the atomics were bought to fix.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check; see the package documentation.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: `forbids plain reads/writes of fields that are declared atomic or accessed via sync/atomic
+
+A field either belongs to the atomics (declared as atomic.T, or its
+address passed to sync/atomic functions) or to plain code — never
+both. Mixed access is how counters tear.`,
+	Run: run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+// atomicTypeNames are the types of sync/atomic whose values carry
+// their own discipline.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true,
+	"Pointer": true, "Value": true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// Phase 1a: fields declared with an atomic type.
+	declared := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					obj := info.Defs[name]
+					if obj != nil && isAtomicType(obj.Type()) {
+						declared[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 1b: fields whose address feeds a sync/atomic function,
+	// and the exact selector expressions sanctioned by those calls.
+	viaFunc := map[types.Object]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldObject(info, sel); obj != nil {
+					viaFunc[obj] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	if len(declared) == 0 && len(viaFunc) == 0 {
+		return nil
+	}
+
+	// Phase 2: judge every selector against its field's population.
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := fieldObject(info, sel)
+			if obj == nil {
+				return true
+			}
+			name := fieldDisplay(info, sel)
+			switch {
+			case declared[obj]:
+				if !atomicValueUseOK(info, parents, sel) {
+					pass.Report(analysis.Diagnostic{
+						Pos: sel.Sel.Pos(), Category: "atomictype",
+						Message: "plain use of atomic field " + name + "; access it only through its sync/atomic methods",
+					})
+				}
+			case viaFunc[obj] && !sanctioned[sel]:
+				p := skipParens(parents, sel)
+				if u, ok := p.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					pass.Report(analysis.Diagnostic{
+						Pos: sel.Sel.Pos(), Category: "mixed",
+						Message: "address of " + name + " taken outside sync/atomic; the field is accessed atomically elsewhere",
+					})
+					return true
+				}
+				verb := "read"
+				if isWriteContext(parents, sel) {
+					verb = "write"
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos: sel.Sel.Pos(), Category: "mixed",
+					Message: "plain " + verb + " of " + name + ", which is accessed via sync/atomic elsewhere in this package",
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicType reports whether t (or *t) is one of sync/atomic's
+// value types.
+func isAtomicType(t types.Type) bool {
+	n := analysis.AsNamed(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return atomicTypeNames[obj.Name()] && analysis.PkgPathBase(obj.Pkg().Path()) == "atomic"
+}
+
+// isAtomicFunc reports whether call invokes a package-level function
+// of sync/atomic.
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil && analysis.PkgPathBase(fn.Pkg().Path()) == "atomic"
+}
+
+// fieldObject resolves sel to the struct-field object it selects, or
+// nil when sel is not a field selection.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return info.Uses[sel.Sel]
+}
+
+// fieldDisplay renders Owner.field for messages.
+func fieldDisplay(info *types.Info, sel *ast.SelectorExpr) string {
+	if s, ok := info.Selections[sel]; ok {
+		if n := analysis.AsNamed(s.Recv()); n != nil {
+			return n.Obj().Name() + "." + sel.Sel.Name
+		}
+	}
+	return sel.Sel.Name
+}
+
+// atomicValueUseOK accepts the legal uses of a declared-atomic field:
+// selecting one of its methods (call or method value) or taking its
+// address.
+func atomicValueUseOK(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := skipParens(parents, sel).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[p]; ok && s.Kind() == types.MethodVal {
+			return true
+		}
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	case *ast.IndexExpr:
+		// Selecting into a field of array-of-atomic etc. is not the
+		// atomic value itself; judged at the element's own use site.
+		return p.X == sel
+	}
+	return false
+}
+
+// isWriteContext reports whether sel is assigned to or inc/dec'd,
+// looking through index/star/paren layers.
+func isWriteContext(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	var n ast.Node = sel
+	for {
+		p := parents[n]
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			n = p
+			continue
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == n {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == n
+		default:
+			return false
+		}
+	}
+}
+
+// parentMap links every node of f to its parent.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// skipParens returns sel's nearest non-paren ancestor.
+func skipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		if _, ok := p.(*ast.ParenExpr); !ok {
+			return p
+		}
+		p = parents[p]
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,73 @@
+// Package a exercises every atomicmix diagnostic kind: plain use of
+// declared-atomic fields, mixed plain/atomic access to ordinary
+// fields, escaping addresses, plus the negatives (method values,
+// sanctioned atomic calls, fields that are purely plain) and one
+// justified suppression. The shapes mirror internal/obs histogram
+// counters and internal/server admission counters.
+package a
+
+import "sync/atomic"
+
+type Counters struct {
+	hits  atomic.Int64
+	state atomic.Value
+	seen  atomic.Bool
+
+	n int64 // every access goes through sync/atomic functions
+	m int64 // purely plain — no discipline applies
+}
+
+// ---- declared-atomic fields: methods and & are the only legal uses ----
+
+func ok(c *Counters) {
+	c.hits.Add(1)
+	_ = c.hits.Load()
+	c.state.Store(1)
+	c.seen.CompareAndSwap(false, true)
+
+	load := c.hits.Load // method value, still atomic
+	_ = load()
+
+	p := &c.hits // passing the atomic itself is fine
+	bump(p)
+}
+
+func bump(p *atomic.Int64) { p.Add(1) }
+
+func badDeclared(c *Counters) {
+	v := c.hits // want `plain use of atomic field Counters.hits; access it only through its sync/atomic methods`
+	_ = v
+	c.hits = atomic.Int64{} // want `plain use of atomic field Counters.hits`
+	_ = c.state             // want `plain use of atomic field Counters.state`
+}
+
+// ---- mixed plain/atomic access to an ordinary field ----
+
+func okAtomicFuncs(c *Counters) {
+	atomic.AddInt64(&c.n, 1)
+	_ = atomic.LoadInt64(&c.n)
+	atomic.StoreInt64((&c.n), 5) // parenthesised but still direct
+}
+
+func badMixed(c *Counters) {
+	_ = c.n   // want `plain read of Counters.n, which is accessed via sync/atomic elsewhere in this package`
+	c.n++     // want `plain write of Counters.n`
+	c.n = 7   // want `plain write of Counters.n`
+	q := &c.n // want `address of Counters.n taken outside sync/atomic`
+	_ = q
+}
+
+// ---- fields never touched by atomics stay free ----
+
+func plainOnly(c *Counters) {
+	c.m++
+	_ = c.m
+	r := &c.m
+	_ = r
+}
+
+// ---- justified suppression ----
+
+func reset(c *Counters) {
+	c.n = 0 //lttalint:ignore atomicmix single-threaded test reset before workers start
+}

@@ -1,0 +1,110 @@
+// Package deferunlock flags locks that are acquired but not released
+// on every path to function exit — the leak that turns one early
+// return or panic into a wedged coordinator.
+//
+// The check runs on the intra-procedural CFG with a may-hold (union)
+// join: a lock still held on ANY path reaching the exit node is
+// reported at its acquisition site. A `defer mu.Unlock()` discharges
+// the lock immediately (the release is then guaranteed on every
+// subsequent exit, including panics), which is why it is the
+// preferred idiom. TryLock acquisitions count only on the branch
+// where the call returned true. Functions whose exit is unreachable
+// (run-forever loops) hold their locks legitimately and are skipped,
+// as are locks the function did not itself acquire.
+package deferunlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/locks"
+)
+
+// Analyzer implements the check; see the package documentation.
+var Analyzer = &analysis.Analyzer{
+	Name: "deferunlock",
+	Doc: `reports sync.Mutex/RWMutex acquisitions not released on every path to function exit
+
+Prefer Lock + defer Unlock; an early return or panic between a bare
+Lock/Unlock pair leaks the lock and wedges every later caller.`,
+	Run: run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	aliases := locks.Aliases(info, body)
+	g := cfg.New(body)
+
+	fl := cfg.Flow[locks.Held]{
+		Init:  locks.Held{},
+		Join:  func(a, b locks.Held) locks.Held { return a.Union(b) },
+		Equal: func(a, b locks.Held) bool { return a.Equal(b) },
+		Transfer: func(n ast.Node, held locks.Held) locks.Held {
+			return transfer(info, aliases, n, held)
+		},
+		Branch: func(cond ast.Expr, held locks.Held) (tf, ff locks.Held) {
+			return locks.BranchTryLock(info, aliases, cond, held)
+		},
+	}
+	res := fl.Forward(g)
+	leaked, ok := res.Exit(g)
+	if !ok {
+		return // exit unreachable: a run-forever loop owns its locks
+	}
+	for _, l := range leaked.All() {
+		pass.Report(analysis.Diagnostic{
+			Pos:      l.Pos,
+			Category: "leak",
+			Message:  l.Ref.Display + " is acquired here but not released on every path to function exit; prefer defer " + l.Ref.Display + "." + unlockName(l.Mode),
+		})
+	}
+}
+
+// transfer folds one node's mutex effects into the held set, with
+// deferred releases discharging their lock immediately: once `defer
+// mu.Unlock()` has run, the release is guaranteed at every later exit
+// from the function.
+func transfer(info *types.Info, aliases map[types.Object]types.Object, n ast.Node, held locks.Held) locks.Held {
+	type rel struct {
+		ref  locks.Ref
+		mode locks.Mode
+	}
+	var deferred []rel
+	out := locks.Apply(info, aliases, n, held, func(op locks.Op, ref locks.Ref) {
+		if op.Kind == locks.Release {
+			deferred = append(deferred, rel{ref, op.Mode})
+		}
+	})
+	for _, d := range deferred {
+		out = out.Without(d.ref, d.mode)
+	}
+	return out
+}
+
+func unlockName(m locks.Mode) string {
+	if m == locks.Read {
+		return "RUnlock()"
+	}
+	return "Unlock()"
+}

@@ -1,0 +1,12 @@
+package deferunlock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/deferunlock"
+)
+
+func TestDeferUnlock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), deferunlock.Analyzer, "a")
+}

@@ -1,0 +1,122 @@
+// Package a exercises every deferunlock diagnostic kind: leaks via
+// early return, panic, and partial-path release, plus the negatives
+// (defer, all-path release, run-forever loops, TryLock discipline)
+// and one justified suppression.
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// ---- the good shapes ----
+
+func deferred(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func pairedAllPaths(s *S, c bool) {
+	s.mu.Lock()
+	if c {
+		s.n++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func readDeferred(s *S) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func tryDeferred(s *S) {
+	if !s.mu.TryLock() {
+		return
+	}
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// runForever never reaches function exit; holding across iterations
+// is its own business.
+func runForever(s *S) {
+	for {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// ---- the leaks ----
+
+func leakStraight(s *S) {
+	s.mu.Lock() // want `s.mu is acquired here but not released on every path to function exit`
+	s.n++
+}
+
+func leakEarlyReturn(s *S, c bool) {
+	s.mu.Lock() // want `s.mu is acquired here but not released on every path`
+	if c {
+		return // leaks
+	}
+	s.mu.Unlock()
+}
+
+func leakPanic(s *S, c bool) {
+	s.mu.Lock() // want `s.mu is acquired here but not released on every path`
+	if c {
+		panic("wedged with the lock held")
+	}
+	s.mu.Unlock()
+}
+
+func leakReadLock(s *S) int {
+	s.rw.RLock() // want `s.rw is acquired here but not released on every path to function exit; prefer defer s.rw.RUnlock\(\)`
+	return s.n
+}
+
+func leakTryBranch(s *S) {
+	if s.mu.TryLock() { // want `s.mu is acquired here but not released on every path`
+		s.n++
+		return
+	}
+}
+
+func leakConditionalDefer(s *S, c bool) {
+	s.mu.Lock() // want `s.mu is acquired here but not released on every path`
+	if c {
+		defer s.mu.Unlock()
+	}
+}
+
+func leakInClosure(s *S) func() {
+	return func() {
+		s.mu.Lock() // want `s.mu is acquired here but not released on every path`
+		s.n++
+	}
+}
+
+// wrongModeRelease pairs a write acquire with a read release; the
+// write lock stays held.
+func wrongModeRelease(s *S) {
+	s.rw.Lock() // want `s.rw is acquired here but not released on every path`
+	s.rw.RUnlock()
+}
+
+// ---- justified suppression: a lock handoff ----
+
+// lockForCaller acquires on behalf of the caller, who releases.
+func lockForCaller(s *S) {
+	s.mu.Lock() //lttalint:ignore deferunlock lock handoff: the caller releases via unlockFromCallee
+}
+
+func unlockFromCallee(s *S) {
+	s.mu.Unlock()
+}

@@ -1,0 +1,173 @@
+package lockguard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Guard is one parsed `// guarded by …` annotation. Type is empty for
+// the sibling form (`guarded by mu`: the mutex is a field of the same
+// struct instance) and set for the type-qualified form (`guarded by
+// Coordinator.mu`: any held lock that is field mu of Coordinator).
+type Guard struct {
+	Type  string
+	Field string
+}
+
+func (g Guard) String() string {
+	if g.Type == "" {
+		return g.Field
+	}
+	return g.Type + "." + g.Field
+}
+
+// guardMarker is the phrase that turns a comment into an annotation.
+const guardMarker = "guarded by"
+
+// ParseGuard scans one comment's text for a guarded-by annotation.
+// ok reports whether the marker phrase is present at all; err is
+// non-nil when it is present but the path after it is malformed.
+// The input is arbitrary bytes (comment text with or without the //
+// or /* markers); the parser never panics.
+func ParseGuard(text string) (Guard, bool, error) {
+	// Case-insensitive marker search with ASCII folding only:
+	// strings.ToLower can change byte offsets for non-ASCII input,
+	// and the offset is used to slice the original text.
+	i := indexFold(text, guardMarker)
+	if i < 0 {
+		return Guard{}, false, nil
+	}
+	rest := strings.TrimSpace(text[i+len(guardMarker):])
+	// The path is the first whitespace-delimited token, with comment
+	// closers and sentence punctuation stripped.
+	tok := rest
+	if j := strings.IndexFunc(tok, unicode.IsSpace); j >= 0 {
+		tok = tok[:j]
+	}
+	tok = strings.TrimSuffix(tok, "*/")
+	tok = strings.TrimRight(tok, ".,;:")
+	if tok == "" {
+		return Guard{}, true, errors.New("guarded by: missing mutex path")
+	}
+	segs := strings.Split(tok, ".")
+	if len(segs) > 2 {
+		return Guard{}, true, fmt.Errorf("guarded by %q: want mu or Type.mu, got %d path segments", tok, len(segs))
+	}
+	for _, s := range segs {
+		if !isIdent(s) {
+			return Guard{}, true, fmt.Errorf("guarded by %q: %q is not a Go identifier", tok, s)
+		}
+	}
+	if len(segs) == 2 {
+		return Guard{Type: segs[0], Field: segs[1]}, true, nil
+	}
+	return Guard{Field: segs[0]}, true, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' {
+			continue
+		}
+		if i > 0 && unicode.IsDigit(r) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// holdsPaths extracts the candidate lock paths from a doc comment
+// declaring caller-held preconditions, e.g. "Caller holds w.mu." or
+// "holds Registry.mu and cb.mu". After each occurrence of the word
+// "holds", identifier-path tokens are collected (across comment line
+// wraps) until the sentence ends or a non-path word appears; the
+// analyzer then keeps only the candidates that resolve to a sync
+// mutex, so ordinary prose containing "holds" is inert.
+func holdsPaths(text string) []string {
+	var out []string
+	for from := 0; ; {
+		i := indexWord(text[from:], "holds")
+		if i < 0 {
+			return out
+		}
+		from += i + len("holds")
+		for _, tok := range strings.Fields(text[from:]) {
+			sentenceEnd := strings.HasSuffix(tok, ".")
+			clean := strings.TrimRight(tok, ".,;:")
+			if isPathToken(clean) {
+				out = append(out, clean)
+			} else if clean != "and" && clean != "&" {
+				break
+			}
+			if sentenceEnd {
+				break
+			}
+		}
+	}
+}
+
+// isPathToken reports whether s is a dotted identifier path.
+func isPathToken(s string) bool {
+	segs := strings.Split(s, ".")
+	for _, seg := range segs {
+		if !isIdent(seg) {
+			return false
+		}
+	}
+	return len(segs) > 0
+}
+
+// indexWord finds needle in s at word boundaries, ASCII
+// case-insensitively.
+func indexWord(s, needle string) int {
+	for i := 0; i+len(needle) <= len(s); i++ {
+		if !foldEq(s[i:i+len(needle)], needle) {
+			continue
+		}
+		startOK := i == 0 || !isWordByte(s[i-1])
+		end := i + len(needle)
+		endOK := end == len(s) || !isWordByte(s[end])
+		if startOK && endOK {
+			return i
+		}
+	}
+	return -1
+}
+
+// indexFold finds needle in s, ASCII case-insensitively, returning a
+// byte offset valid for slicing s.
+func indexFold(s, needle string) int {
+	for i := 0; i+len(needle) <= len(s); i++ {
+		if foldEq(s[i:i+len(needle)], needle) {
+			return i
+		}
+	}
+	return -1
+}
+
+// foldEq compares equal-length strings with ASCII case folding.
+func foldEq(a, b string) bool {
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}

@@ -1,0 +1,505 @@
+// Package lockguard enforces `// guarded by <mu>` field annotations
+// with a flow-sensitive must-hold analysis over the internal CFG.
+//
+// A struct field annotated `// guarded by mu` (sibling form: mu is a
+// sync.Mutex or sync.RWMutex field of the same struct) or `// guarded
+// by Type.mu` (type-qualified form: the mutex lives on another
+// struct, as with registry entries guarded by the Registry lock) may
+// only be read or written while the guard is held. The analysis
+// tracks Lock/Unlock/RLock/RUnlock on every path of the function's
+// control-flow graph, joins paths with intersection (a guard counts
+// only if held on *all* paths reaching the access), refines
+// `if mu.TryLock()` branches, and honours two escape hatches:
+//
+//   - a doc-comment precondition containing "holds <path>" (e.g.
+//     "Caller holds w.mu." or "Caller holds Registry.mu") seeds the
+//     entry state of that function — the repository's existing
+//     locked-helper convention;
+//   - locals whose every binding is a fresh composite literal or
+//     new(T) are exempt: a value under construction is unshared.
+//
+// Writes require the guard in exclusive mode; reads are satisfied by
+// a read lock too. Function literals are analyzed as independent
+// functions with an empty entry state (a closure cannot assume its
+// creation point's locks), and calls to other functions are trusted
+// to check their own preconditions.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/locks"
+)
+
+// Analyzer implements the check; see the package documentation.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: `checks that fields annotated "// guarded by mu" are only accessed with the guard held
+
+Sibling guards ("guarded by mu") name a mutex field of the same
+struct; type-qualified guards ("guarded by Type.mu") name a mutex on
+the owning container. Doc comments containing "Caller holds x.mu"
+declare entry preconditions for locked helpers.`,
+	Run: run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+// guardSpec is one annotated field: where it was declared and what
+// must be held to touch it.
+type guardSpec struct {
+	structType types.Object // TypeName of the declaring struct
+	field      string
+	guard      Guard
+	// ownerType is the TypeName owning the guard mutex: the declaring
+	// struct for sibling guards, the resolved qualifier for
+	// type-qualified ones.
+	ownerType types.Object
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				analyzeFunc(pass, guards, fd.Body, entryHeld(pass, fd))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				analyzeFunc(pass, guards, fl.Body, locks.Held{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectGuards parses every struct declaration's guarded-by
+// annotations, reporting malformed or unresolvable ones in place.
+func collectGuards(pass *analysis.Pass) map[types.Object]*guardSpec {
+	guards := map[types.Object]*guardSpec{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			typeName, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if typeName == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				g, pos, ok := fieldAnnotation(pass, field)
+				if !ok {
+					continue
+				}
+				if len(field.Names) == 0 {
+					pass.Report(analysis.Diagnostic{Pos: pos, Category: "annotation",
+						Message: "guarded-by annotation on an embedded field is not supported"})
+					continue
+				}
+				spec := resolveGuard(pass, typeName, g, pos)
+				if spec == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						s := *spec
+						s.field = name.Name
+						guards[obj] = &s
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// fieldAnnotation scans a field's doc and trailing comments for a
+// guarded-by annotation, reporting parse failures.
+func fieldAnnotation(pass *analysis.Pass, field *ast.Field) (Guard, token.Pos, bool) {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			g, present, err := ParseGuard(c.Text)
+			if !present {
+				continue
+			}
+			if err != nil {
+				pass.Reportf(c.Pos(), "invalid guarded-by annotation: %v", err)
+				return Guard{}, 0, false
+			}
+			return g, c.Pos(), true
+		}
+	}
+	return Guard{}, 0, false
+}
+
+// resolveGuard validates the annotation against the type structure:
+// the named mutex must exist and be a sync.Mutex/RWMutex.
+func resolveGuard(pass *analysis.Pass, structType *types.TypeName, g Guard, pos token.Pos) *guardSpec {
+	if g.Type == "" {
+		if !hasMutexField(structType.Type(), g.Field) {
+			pass.Reportf(pos, "guarded-by annotation: %s has no sync.Mutex/RWMutex field %q",
+				structType.Name(), g.Field)
+			return nil
+		}
+		return &guardSpec{structType: structType, guard: g, ownerType: structType}
+	}
+	owner, _ := pass.Pkg.Scope().Lookup(g.Type).(*types.TypeName)
+	if owner == nil {
+		pass.Reportf(pos, "guarded-by annotation: type %q not found in this package", g.Type)
+		return nil
+	}
+	if !hasMutexField(owner.Type(), g.Field) {
+		pass.Reportf(pos, "guarded-by annotation: %s has no sync.Mutex/RWMutex field %q",
+			owner.Name(), g.Field)
+		return nil
+	}
+	return &guardSpec{structType: structType, guard: g, ownerType: owner}
+}
+
+// fieldOf finds a direct field of the (possibly pointer-to) named
+// struct type.
+func fieldOf(t types.Type, name string) *types.Var {
+	n := analysis.AsNamed(t)
+	if n == nil {
+		return nil
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+func hasMutexField(t types.Type, name string) bool {
+	f := fieldOf(t, name)
+	return f != nil && locks.IsMutexType(f.Type())
+}
+
+// entryHeld builds the function's entry lock set from "holds"
+// preconditions in its doc comment. A candidate path only counts when
+// it resolves to a mutex: rooted at the receiver or a parameter
+// ("Caller holds w.mu"), or type-qualified via a package-scope type
+// ("Caller holds Registry.mu"). Anything else is prose.
+func entryHeld(pass *analysis.Pass, fd *ast.FuncDecl) locks.Held {
+	var held locks.Held
+	if fd.Doc == nil {
+		return held
+	}
+	for _, path := range holdsPaths(fd.Doc.Text()) {
+		if l, ok := resolveHoldsPath(pass, fd, path); ok {
+			held = held.With(l)
+		}
+	}
+	return held
+}
+
+func resolveHoldsPath(pass *analysis.Pass, fd *ast.FuncDecl, path string) (locks.Lock, bool) {
+	segs := strings.Split(path, ".")
+
+	// Type-qualified: "Registry.mu" with Registry a package-scope type.
+	if len(segs) == 2 {
+		if owner, ok := pass.Pkg.Scope().Lookup(segs[0]).(*types.TypeName); ok {
+			if hasMutexField(owner.Type(), segs[1]) {
+				return locks.Lock{Ref: locks.OwnerRef(owner, segs[1]), Mode: locks.Write, Pos: fd.Pos()}, true
+			}
+			return locks.Lock{}, false
+		}
+	}
+
+	// Instance path rooted at the receiver or a parameter.
+	root := paramObject(pass, fd, segs[0])
+	if root == nil || len(segs) < 2 {
+		return locks.Lock{}, false
+	}
+	key := "v" + strconv.Itoa(int(root.Pos()))
+	cur := root.Type()
+	var owner types.Object
+	for _, seg := range segs[1:] {
+		f := fieldOf(cur, seg)
+		if f == nil {
+			return locks.Lock{}, false
+		}
+		if n := analysis.AsNamed(cur); n != nil {
+			owner = n.Obj()
+		}
+		key += "." + seg
+		cur = f.Type()
+	}
+	if !locks.IsMutexType(cur) {
+		return locks.Lock{}, false
+	}
+	ref := locks.Ref{
+		Key:     key,
+		Display: path,
+		Owner:   owner,
+		Field:   segs[len(segs)-1],
+		Root:    root,
+	}
+	return locks.Lock{Ref: ref, Mode: locks.Write, Pos: fd.Pos()}, true
+}
+
+// paramObject resolves name to the receiver or a parameter of fd.
+func paramObject(pass *analysis.Pass, fd *ast.FuncDecl, name string) types.Object {
+	fields := []*ast.FieldList{fd.Recv, fd.Type.Params}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if id.Name == name {
+					return pass.TypesInfo.Defs[id]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// analyzeFunc runs the must-hold flow over one body and checks every
+// guarded-field access against the state in force before it.
+func analyzeFunc(pass *analysis.Pass, guards map[types.Object]*guardSpec, body *ast.BlockStmt, entry locks.Held) {
+	info := pass.TypesInfo
+	aliases := locks.Aliases(info, body)
+	exempt := constructorLocals(info, body)
+	g := cfg.New(body)
+	flow := cfg.Flow[locks.Held]{
+		Init:  entry,
+		Join:  func(a, b locks.Held) locks.Held { return a.Intersect(b) },
+		Equal: func(a, b locks.Held) bool { return a.Equal(b) },
+		Transfer: func(n ast.Node, f locks.Held) locks.Held {
+			return locks.Apply(info, aliases, n, f, nil)
+		},
+		Branch: func(cond ast.Expr, f locks.Held) (locks.Held, locks.Held) {
+			return locks.BranchTryLock(info, aliases, cond, f)
+		},
+	}
+	res := flow.Forward(g)
+	for _, blk := range g.Blocks {
+		res.Walk(blk, func(n ast.Node, held locks.Held) {
+			checkNode(pass, guards, aliases, exempt, n, held)
+		})
+	}
+}
+
+// checkNode inspects one CFG node for guarded-field accesses under
+// the given held set. Function literals are skipped (they are
+// analyzed on their own).
+func checkNode(pass *analysis.Pass, guards map[types.Object]*guardSpec,
+	aliases map[types.Object]types.Object, exempt map[types.Object]bool,
+	n ast.Node, held locks.Held) {
+
+	writes := map[ast.Expr]bool{}
+	markWrite := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				writes[e] = true
+				return
+			}
+		}
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			markWrite(l)
+		}
+	case *ast.IncDecStmt:
+		markWrite(s.X)
+	}
+
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			// Taking the address hands out a way to write the field.
+			if x.Op == token.AND {
+				markWrite(x.X)
+			}
+		case *ast.SelectorExpr:
+			checkSelector(pass, guards, aliases, exempt, x, writes[x], held)
+		}
+		return true
+	})
+}
+
+func checkSelector(pass *analysis.Pass, guards map[types.Object]*guardSpec,
+	aliases map[types.Object]types.Object, exempt map[types.Object]bool,
+	sel *ast.SelectorExpr, isWrite bool, held locks.Held) {
+
+	info := pass.TypesInfo
+	obj := info.Uses[sel.Sel]
+	gs, ok := guards[obj]
+	if !ok {
+		return
+	}
+	baseRef, baseOK := locks.Resolve(info, aliases, sel.X)
+	if baseOK && exempt[baseRef.Root] {
+		return // value under construction, unshared
+	}
+	var satisfied bool
+	var want string
+	switch {
+	case gs.guard.Type == "" && baseOK:
+		want = baseRef.Display + "." + gs.guard.Field
+		satisfied = held.HasPath(baseRef.Key+"."+gs.guard.Field, isWrite)
+	case gs.guard.Type == "":
+		want = gs.structType.Name() + "." + gs.guard.Field
+		satisfied = held.HasOwner(gs.ownerType, gs.guard.Field, isWrite)
+	default:
+		want = gs.guard.String()
+		satisfied = held.HasOwner(gs.ownerType, gs.guard.Field, isWrite)
+	}
+	if satisfied {
+		return
+	}
+	verb := "read"
+	if isWrite {
+		verb = "write"
+	}
+	pass.Report(analysis.Diagnostic{
+		Pos:      sel.Sel.Pos(),
+		Category: "unguarded",
+		Message:  verb + " of " + gs.structType.Name() + "." + gs.field + " without holding " + want,
+	})
+}
+
+// constructorLocals finds locals whose every binding is a freshly
+// constructed value (composite literal, &composite, new(T), or a
+// plain var declaration): until such a value escapes, no other
+// goroutine can reach it, so guard checks do not apply.
+func constructorLocals(info *types.Info, body ast.Node) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	shared := map[types.Object]bool{}
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		v, _ := info.ObjectOf(id).(*types.Var)
+		if v == nil {
+			return nil
+		}
+		return v
+	}
+	record := func(lhs, rhs ast.Expr) {
+		obj := objOf(lhs)
+		if obj == nil {
+			return
+		}
+		if rhs == nil || !isFreshExpr(info, rhs) {
+			shared[obj] = true
+			return
+		}
+		fresh[obj] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				for _, l := range n.Lhs {
+					record(l, nil)
+				}
+			}
+		case *ast.ValueSpec:
+			switch {
+			case len(n.Values) == 0:
+				// `var x T`: the zero value is fresh.
+				for _, id := range n.Names {
+					if obj := objOf(id); obj != nil {
+						fresh[obj] = true
+					}
+				}
+			case len(n.Values) == len(n.Names):
+				for i, id := range n.Names {
+					record(id, n.Values[i])
+				}
+			default:
+				for _, id := range n.Names {
+					record(id, nil)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				record(n.Key, nil)
+			}
+			if n.Value != nil {
+				record(n.Value, nil)
+			}
+		}
+		return true
+	})
+	out := map[types.Object]bool{}
+	for obj := range fresh {
+		if !shared[obj] {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// isFreshExpr reports whether e constructs a brand-new value.
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		_, ok := x.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := x.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, builtin := info.Uses[id].(*types.Builtin)
+		return builtin && id.Name == "new"
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package lockguard_test
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	// "a" is the kitchen sink covering every diagnostic kind and
+	// escape hatch; "coord", "registry", and "warm" mirror the
+	// production annotation shapes of internal/server/coord.go +
+	// coordbatch.go, internal/registry/registry.go, and
+	// internal/core/warm.go — each contains the delete-the-lock
+	// mutants proving those annotations are enforceable.
+	analysistest.Run(t, analysistest.TestData(t), lockguard.Analyzer,
+		"a", "coord", "registry", "warm")
+}
+
+func TestParseGuard(t *testing.T) {
+	cases := []struct {
+		in      string
+		present bool
+		wantErr bool
+		want    lockguard.Guard
+	}{
+		{"// guarded by mu", true, false, lockguard.Guard{Field: "mu"}},
+		{"// guarded by Coordinator.mu", true, false, lockguard.Guard{Type: "Coordinator", Field: "mu"}},
+		{"/* Guarded by Registry.mu */", true, false, lockguard.Guard{Type: "Registry", Field: "mu"}},
+		{"// guarded by mu.", true, false, lockguard.Guard{Field: "mu"}},
+		{"// guarded by mu, and friends", true, false, lockguard.Guard{Field: "mu"}},
+		{"// GUARDED BY rw", true, false, lockguard.Guard{Field: "rw"}},
+		{"// plain comment", false, false, lockguard.Guard{}},
+		{"// guards circuits + useSeq", false, false, lockguard.Guard{}},
+		{"// guarded by", true, true, lockguard.Guard{}},
+		{"// guarded by a.b.c", true, true, lockguard.Guard{}},
+		{"// guarded by 9lives", true, true, lockguard.Guard{}},
+		{"// guarded by a-b", true, true, lockguard.Guard{}},
+	}
+	for _, c := range cases {
+		g, present, err := lockguard.ParseGuard(c.in)
+		if present != c.present || (err != nil) != c.wantErr {
+			t.Errorf("ParseGuard(%q): present=%v err=%v, want present=%v err=%v",
+				c.in, present, err, c.present, c.wantErr)
+			continue
+		}
+		if err == nil && g != c.want {
+			t.Errorf("ParseGuard(%q) = %+v, want %+v", c.in, g, c.want)
+		}
+	}
+}
+
+// FuzzGuardAnnotationParse feeds arbitrary comment bytes to the
+// annotation parser: every input must either parse into a valid guard
+// or be rejected with a structured error — never panic, and never
+// produce a guard with an empty field.
+func FuzzGuardAnnotationParse(f *testing.F) {
+	for _, seed := range []string{
+		"// guarded by mu",
+		"// guarded by Coordinator.mu",
+		"/* Guarded by Registry.mu */",
+		"// guarded by ",
+		"// guarded by a.b.c",
+		"// guarded by .mu",
+		"// guarded by mu..",
+		"// guarded by \x00\xff",
+		"// nothing to see",
+		"guarded byguarded by x",
+		strings.Repeat("guarded by ", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		g, present, err := lockguard.ParseGuard(s)
+		if !present {
+			if err != nil {
+				t.Fatalf("error %v without annotation present for %q", err, s)
+			}
+			if g != (lockguard.Guard{}) {
+				t.Fatalf("guard %+v without annotation present for %q", g, s)
+			}
+			return
+		}
+		if err != nil {
+			return // structured reject
+		}
+		if g.Field == "" {
+			t.Fatalf("accepted guard with empty field for %q", s)
+		}
+		if !utf8.ValidString(g.Field) || !utf8.ValidString(g.Type) {
+			t.Fatalf("accepted non-UTF8 guard %+v for %q", g, s)
+		}
+	})
+}

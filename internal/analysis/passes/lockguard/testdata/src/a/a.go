@@ -1,0 +1,223 @@
+// Package a exercises every lockguard diagnostic kind: sibling and
+// type-qualified guards, read/write lock modes, TryLock branches,
+// defer, intersection joins, holds preconditions, the constructor
+// exemption, closures, aliases, and annotation validation.
+package a
+
+import "sync"
+
+type S struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data int // guarded by mu
+	rd   int // guarded by rw
+}
+
+type Owner struct {
+	mu    sync.Mutex
+	boxes []*Box // guarded by mu
+}
+
+type Box struct {
+	n int // guarded by Owner.mu
+}
+
+// ---- annotation validation ----
+
+type BadGuards struct {
+	a int // guarded by nosuch // want `BadGuards has no sync.Mutex/RWMutex field "nosuch"`
+	b int // guarded by Missing.mu // want `type "Missing" not found in this package`
+	c int // guarded by x.y.z // want `invalid guarded-by annotation`
+	d int // guarded by // want `invalid guarded-by annotation`
+	e int // guarded by notMutex // want `BadGuards has no sync.Mutex/RWMutex field "notMutex"`
+
+	notMutex int
+}
+
+type Embedded struct {
+	sync.Mutex // guarded by Mutex // want `guarded-by annotation on an embedded field is not supported`
+}
+
+// ---- basic discipline ----
+
+func (s *S) locked() {
+	s.mu.Lock()
+	s.data++ // ok
+	_ = s.data
+	s.mu.Unlock()
+}
+
+func (s *S) unlocked() {
+	s.data = 1 // want `write of S.data without holding s.mu`
+	_ = s.data // want `read of S.data without holding s.mu`
+}
+
+func (s *S) afterUnlock() {
+	s.mu.Lock()
+	s.data++ // ok
+	s.mu.Unlock()
+	s.data++ // want `write of S.data without holding s.mu`
+}
+
+func (s *S) deferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data++ // ok: the deferred release happens at exit
+}
+
+func (s *S) addressEscape() *int {
+	return &s.data // want `write of S.data without holding s.mu`
+}
+
+// ---- join: held on all paths or not at all ----
+
+func (s *S) joinOnePath(c bool) {
+	if c {
+		s.mu.Lock()
+	}
+	s.data++ // want `write of S.data without holding s.mu`
+	if c {
+		s.mu.Unlock()
+	}
+}
+
+func (s *S) joinBothPaths(c bool) {
+	if c {
+		s.mu.Lock()
+	} else {
+		s.mu.Lock()
+	}
+	s.data++ // ok: held on every path in
+	s.mu.Unlock()
+}
+
+// ---- TryLock branch refinement ----
+
+func (s *S) tryLock() {
+	if s.mu.TryLock() {
+		s.data++ // ok: true branch holds the lock
+		s.mu.Unlock()
+	}
+	s.data++ // want `write of S.data without holding s.mu`
+}
+
+func (s *S) tryLockNegated() {
+	if !s.mu.TryLock() {
+		return
+	}
+	defer s.mu.Unlock()
+	s.data++ // ok: the false branch of the negation holds the lock
+}
+
+// ---- RWMutex read/write modes ----
+
+func (s *S) readUnderRLock() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.rd // ok: reads are satisfied by a read lock
+}
+
+func (s *S) writeUnderRLock() {
+	s.rw.RLock()
+	s.rd = 1 // want `write of S.rd without holding s.rw`
+	s.rw.RUnlock()
+}
+
+func (s *S) writeUnderLock() {
+	s.rw.Lock()
+	s.rd = 1 // ok
+	s.rw.Unlock()
+}
+
+// ---- holds preconditions ----
+
+// setLocked stores v. Caller holds s.mu.
+func (s *S) setLocked(v int) {
+	s.data = v // ok: declared precondition
+}
+
+// peek reports the count. Caller holds Owner.mu.
+func peek(b *Box) int {
+	return b.n // ok: type-qualified precondition
+}
+
+// prose mentions that the snapshot holds within one sweep, which is
+// not a lock path and must not seed any entry state.
+func (s *S) proseHolds() {
+	s.data++ // want `write of S.data without holding s.mu`
+}
+
+// ---- type-qualified guards ----
+
+func (o *Owner) touch(b *Box) {
+	o.mu.Lock()
+	b.n++ // ok: an Owner.mu is held
+	o.mu.Unlock()
+	b.n++ // want `write of Box.n without holding Owner.mu`
+}
+
+func (o *Owner) scan() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	total := 0
+	for _, b := range o.boxes { // ok
+		total += b.n // ok
+	}
+	return total
+}
+
+// ---- constructor exemption ----
+
+func fresh() *S {
+	s := &S{}
+	s.data = 1 // ok: value under construction is unshared
+	var t S
+	t.data = 2 // ok: zero-value local
+	u := new(S)
+	u.data = 3 // ok
+	_ = t
+	return u
+}
+
+func notFresh(src *S) {
+	s := src
+	// The report names the canonical root: s aliases src.
+	s.data = 1 // want `write of S.data without holding src.mu`
+}
+
+// ---- aliases ----
+
+func aliased(s *S) {
+	t := s
+	t.mu.Lock()
+	s.data++ // ok: t is a single-assignment alias of s
+	t.mu.Unlock()
+}
+
+// ---- closures get an empty entry state ----
+
+func (s *S) closure() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data++ // ok
+	return func() {
+		s.data++ // want `write of S.data without holding s.mu`
+	}
+}
+
+// ---- justified suppression ----
+
+func (s *S) suppressed() {
+	s.data = 9 //lttalint:ignore lockguard fixture seeds the field before the goroutines exist
+}
+
+// ---- unannotated fields stay free ----
+
+type Plain struct {
+	mu sync.Mutex
+	k  int
+}
+
+func (p *Plain) free() {
+	p.k++ // ok: no annotation, no discipline
+}

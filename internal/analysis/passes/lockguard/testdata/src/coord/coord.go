@@ -1,0 +1,142 @@
+// Package coord mirrors the annotation shapes of
+// internal/server/coord.go and coordbatch.go: the coordinator's
+// circuit table and use sequence under one mutex, per-worker upload
+// sets, per-batch merge state, and cross-struct guards on entries and
+// units. Deleting any Lock below must (and does) fail the pass —
+// these are the delete-the-lock mutants for the production
+// annotations.
+package coord
+
+import "sync"
+
+type Hash [4]byte
+
+type coordEntry struct {
+	hash    Hash
+	lastUse int64 // guarded by Coordinator.mu
+}
+
+type Coordinator struct {
+	mu       sync.Mutex
+	circuits map[Hash]*coordEntry // guarded by mu
+	useSeq   int64                // guarded by mu
+}
+
+func New() *Coordinator {
+	co := &Coordinator{}
+	co.circuits = map[Hash]*coordEntry{} // ok: construction
+	return co
+}
+
+func (co *Coordinator) getEntry(h Hash) *coordEntry {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	e := co.circuits[h] // ok
+	if e == nil {
+		e = &coordEntry{hash: h}
+		co.circuits[h] = e // ok
+	}
+	co.useSeq++           // ok
+	e.lastUse = co.useSeq // ok: Coordinator.mu held
+	return e
+}
+
+func (co *Coordinator) racyCount() int {
+	return len(co.circuits) // want `read of Coordinator.circuits without holding co.mu`
+}
+
+func (co *Coordinator) racySeq() {
+	co.useSeq++ // want `write of Coordinator.useSeq without holding co.mu`
+}
+
+func racyEntry(e *coordEntry) int64 {
+	return e.lastUse // want `read of coordEntry.lastUse without holding Coordinator.mu`
+}
+
+type coordWorker struct {
+	addr     string
+	mu       sync.Mutex
+	uploaded map[Hash]bool // guarded by mu
+}
+
+func (w *coordWorker) markUploaded(h Hash) {
+	w.mu.Lock()
+	w.uploaded[h] = true // ok
+	w.mu.Unlock()
+}
+
+func (w *coordWorker) racyMark(h Hash) {
+	w.uploaded[h] = true // want `write of coordWorker.uploaded without holding w.mu`
+}
+
+type coordUnit struct {
+	emitIndex int      // immutable after construction: no guard
+	delivered bool     // guarded by coordBatch.mu
+	attempts  int      // guarded by coordBatch.mu
+	workers   []string // guarded by coordBatch.mu
+	result    *int     // guarded by coordBatch.mu
+}
+
+type coordBatch struct {
+	mu        sync.Mutex
+	units     []*coordUnit // guarded by mu
+	remaining int          // guarded by mu
+	checksRun int          // guarded by mu
+}
+
+// deliverLocked flips the delivered bit exactly once. Caller holds
+// cb.mu.
+func (cb *coordBatch) deliverLocked(u *coordUnit, r *int) bool {
+	if u.delivered { // ok: precondition
+		return false
+	}
+	u.delivered = true // ok
+	u.result = r       // ok
+	cb.remaining--     // ok
+	return true
+}
+
+// tried reports how many workers ran this unit. Caller holds
+// coordBatch.mu.
+func (u *coordUnit) tried() int {
+	return u.attempts // ok: type-qualified precondition
+}
+
+func (cb *coordBatch) deliver(u *coordUnit, r *int) {
+	cb.mu.Lock()
+	if cb.deliverLocked(u, r) {
+		cb.checksRun++ // ok
+	}
+	cb.mu.Unlock()
+	u.attempts++ // want `write of coordUnit.attempts without holding coordBatch.mu`
+}
+
+func (cb *coordBatch) racyAssemble() []*int {
+	out := make([]*int, 0, len(cb.units)) // want `read of coordBatch.units without holding cb.mu`
+	for _, u := range cb.units {          // want `read of coordBatch.units without holding cb.mu`
+		out = append(out, u.result) // want `read of coordUnit.result without holding coordBatch.mu`
+	}
+	return out
+}
+
+func (cb *coordBatch) assemble() []*int {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	out := make([]*int, 0, len(cb.units)) // ok
+	for _, u := range cb.units {          // ok
+		if !u.delivered { // ok
+			continue
+		}
+		u.workers = append(u.workers, "w") // ok
+		out = append(out, u.result)        // ok
+	}
+	return out
+}
+
+func (cb *coordBatch) racyRemaining() bool {
+	return cb.remaining == 0 // want `read of coordBatch.remaining without holding cb.mu`
+}
+
+func (cb *coordBatch) racyChecks() {
+	cb.checksRun++ //lttalint:ignore lockguard single-goroutine teardown path, proven quiescent in the e2e suite
+}

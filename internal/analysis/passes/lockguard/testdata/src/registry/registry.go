@@ -1,0 +1,98 @@
+// Package registry mirrors internal/registry/registry.go: entry
+// lifecycle fields (refcount, condemnation, accounting) guarded by
+// the owning Registry's lock, the per-entry prepare mutex, and the
+// locked-helper convention. badPrepared reproduces the
+// read-after-unlock bug the production pass caught in Pin.Prepared.
+package registry
+
+import "sync"
+
+type Hash [4]byte
+
+type entry struct {
+	hash      Hash
+	refs      int  // guarded by Registry.mu
+	condemned bool // guarded by Registry.mu
+	accounted bool // guarded by Registry.mu
+
+	pmu       sync.Mutex
+	preparing chan struct{} // guarded by pmu
+	prepared  *int          // guarded by pmu
+}
+
+type Registry struct {
+	mu       sync.Mutex
+	entries  map[Hash]*entry // guarded by mu
+	resident int64           // guarded by mu
+}
+
+func New() *Registry {
+	r := &Registry{}
+	r.entries = map[Hash]*entry{} // ok: construction
+	return r
+}
+
+// touchLocked bumps the refcount. Caller holds r.mu.
+func (r *Registry) touchLocked(e *entry) {
+	e.refs++     // ok
+	r.resident++ // ok
+}
+
+func (r *Registry) pin(h Hash) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[h] // ok
+	if e == nil {
+		e = &entry{hash: h}
+		r.entries[h] = e // ok
+	}
+	r.touchLocked(e)
+	if e.condemned { // ok
+		e.condemned = false // ok
+	}
+	return e
+}
+
+func (r *Registry) racyLookup(h Hash) *entry {
+	return r.entries[h] // want `read of Registry.entries without holding r.mu`
+}
+
+func racyRelease(e *entry) {
+	e.refs--         // want `write of entry.refs without holding Registry.mu`
+	if e.refs == 0 { // want `read of entry.refs without holding Registry.mu`
+		e.condemned = true // want `write of entry.condemned without holding Registry.mu`
+	}
+}
+
+func racyAccount(e *entry) {
+	e.accounted = true // want `write of entry.accounted without holding Registry.mu`
+}
+
+// goodPrepared captures the prepared value while pmu is held.
+func goodPrepared(e *entry) *int {
+	e.pmu.Lock()
+	p := e.prepared // ok
+	e.pmu.Unlock()
+	return p
+}
+
+// badPrepared is the production bug shape: both reads of e.prepared
+// happen after pmu is released, so a concurrent prepare can swap the
+// pointer between the nil check and the return.
+func badPrepared(e *entry) *int {
+	e.pmu.Lock()
+	if e.preparing != nil { // ok
+		e.pmu.Unlock()
+		return e.prepared // want `read of entry.prepared without holding e.pmu`
+	}
+	e.pmu.Unlock()
+	return e.prepared // want `read of entry.prepared without holding e.pmu`
+}
+
+func startPrepare(e *entry) {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	if e.preparing == nil { // ok
+		e.preparing = make(chan struct{}) // ok
+	}
+}

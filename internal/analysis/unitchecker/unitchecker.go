@@ -30,6 +30,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -61,6 +62,8 @@ func Main(analyzers ...*analysis.Analyzer) {
 	log.SetPrefix("lttalint: ")
 
 	printFlags := flag.Bool("flags", false, "print flags in JSON (for go vet)")
+	listFlag := flag.Bool("list", false, "list the registered analyzers with their one-line docs and exit")
+	listJSON := flag.Bool("json", false, "with -list: emit the analyzer list as JSON")
 	flag.Var(versionFlag{}, "V", "print version and exit (-V=full for a build identity)")
 	enabled := map[string]*bool{}
 	for _, a := range analyzers {
@@ -79,6 +82,12 @@ func Main(analyzers ...*analysis.Analyzer) {
 
 	if *printFlags {
 		describeFlags()
+		os.Exit(0)
+	}
+	if *listFlag {
+		if err := writeList(os.Stdout, analyzers, *listJSON); err != nil {
+			log.Fatal(err)
+		}
 		os.Exit(0)
 	}
 	args := flag.Args()
@@ -116,6 +125,33 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
+}
+
+// writeList prints the suite roster: `name<TAB>one-line doc` per
+// analyzer, or a JSON array with -json. README's Linting table is
+// generated from (and drift-tested against) this output.
+func writeList(w io.Writer, analyzers []*analysis.Analyzer, asJSON bool) error {
+	sorted := append([]*analysis.Analyzer(nil), analyzers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	if asJSON {
+		type item struct {
+			Name string `json:"name"`
+			Doc  string `json:"doc"`
+		}
+		items := make([]item, len(sorted))
+		for i, a := range sorted {
+			items[i] = item{a.Name, firstLine(a.Doc)}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		return enc.Encode(items)
+	}
+	for _, a := range sorted {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", a.Name, firstLine(a.Doc)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // versionFlag implements -V=full: cmd/go hashes the reported identity

@@ -164,10 +164,10 @@ type Verifier struct {
 	stems    []circuit.NetID // cached reconvergent fanout stems
 
 	coneMu sync.Mutex
-	cones  map[circuit.NetID]*coneVerifier
+	cones  map[circuit.NetID]*coneVerifier // guarded by coneMu
 
 	warmMu sync.Mutex
-	warm   map[circuit.NetID]*warmState // per-sink warm-start memos
+	warm   map[circuit.NetID]*warmState // per-sink warm-start memos; guarded by warmMu
 }
 
 // NewVerifier prepares a verifier for the circuit (computing arrival

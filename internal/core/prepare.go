@@ -33,7 +33,7 @@ type Prepared struct {
 	learn     *learn.Table
 
 	coneMu sync.Mutex
-	cones  map[circuit.NetID]*conePrep
+	cones  map[circuit.NetID]*conePrep // guarded by coneMu
 }
 
 // Prepare computes the shareable static analyses of a circuit.

@@ -259,26 +259,38 @@ func (v *Verifier) run(ctx context.Context, req Request) *Report {
 	// seed recorded for a different δ, so they force the cold path.
 	// TryLock keeps concurrent same-sink checks independent: the loser
 	// solves cold and leaves the memo alone.
+	// The memo consultation happens inside the TryLock branch so every
+	// guarded-field read is lexically under the lock (the deferred
+	// Unlock holds it for the rest of the check, covering the memo
+	// writes in stage 1 below).
 	var ws *warmState
+	var seedSnap []int64
+	warmRefuted, seeded := false, false
 	if v.opts.UseWarmStart && !v.opts.UseStaticDominators {
 		if w := v.warmFor(req.Sink); w.mu.TryLock() {
 			ws = w
-			defer ws.mu.Unlock()
+			defer w.mu.Unlock()
+			switch {
+			case w.inconsValid && req.Delta >= w.inconsDelta:
+				// A stage-1 refutation at a smaller δ refutes this δ
+				// outright.
+				warmRefuted = true
+			case w.snapValid && req.Delta >= w.snapDelta:
+				seedSnap = w.snap
+				seeded = true
+			}
 		}
 	}
 
 	var sys *constraint.System
-	warmRefuted := false
 	switch {
-	case ws != nil && ws.inconsValid && req.Delta >= ws.inconsDelta:
-		// A stage-1 refutation at a smaller δ refutes this δ outright.
-		warmRefuted = true
-	case ws != nil && ws.snapValid && req.Delta >= ws.snapDelta:
+	case warmRefuted:
+	case seeded:
 		// Seed from the adjacent fixpoint: the snapshot is already a
 		// fixpoint, so narrowing the sink re-schedules only its
 		// adjacent constraints and propagation resumes from there.
 		sys = ws.system(v.c)
-		sys.Restore(ws.snap)
+		sys.Restore(seedSnap)
 		rs.attach(sys)
 		sys.Narrow(req.Sink, waveform.CheckOutput(req.Delta))
 	default:

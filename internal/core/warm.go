@@ -37,14 +37,14 @@ import (
 type warmState struct {
 	mu sync.Mutex
 
-	sys *constraint.System // reusable solver, lazily built
+	sys *constraint.System // reusable solver, lazily built; guarded by mu
 
-	snap      []int64 // stage-1 fixpoint domains at snapDelta
-	snapDelta waveform.Time
-	snapValid bool
+	snap      []int64       // stage-1 fixpoint domains at snapDelta; guarded by mu
+	snapDelta waveform.Time // guarded by mu
+	snapValid bool          // guarded by mu
 
-	inconsDelta waveform.Time // smallest δ known stage-1-inconsistent
-	inconsValid bool
+	inconsDelta waveform.Time // smallest δ known stage-1-inconsistent; guarded by mu
+	inconsValid bool          // guarded by mu
 }
 
 // warmFor returns the sink's memo, creating it on first use.

@@ -77,16 +77,15 @@ type entry struct {
 	hash api.Hash
 	c    *circuit.Circuit
 
-	// Guarded by Registry.mu.
-	refs      int
-	condemned bool
-	elem      *list.Element
-	accounted int64 // bytes currently counted against the registry
+	refs      int           // guarded by Registry.mu
+	condemned bool          // guarded by Registry.mu
+	elem      *list.Element // guarded by Registry.mu
+	accounted int64         // bytes currently counted; guarded by Registry.mu
 
-	// Prepare singleflight, guarded by pmu.
+	// Prepare singleflight.
 	pmu       sync.Mutex
-	preparing chan struct{} // non-nil while a leader runs Prepare
-	prepared  *core.Prepared
+	preparing chan struct{}  // non-nil while a leader runs Prepare; guarded by pmu
+	prepared  *core.Prepared // guarded by pmu (immutable once published)
 }
 
 // Registry is the content-addressed circuit store. Safe for concurrent
@@ -240,7 +239,8 @@ func (r *Registry) Acquire(h api.Hash) (*Pin, bool) {
 	return &Pin{r: r, e: e}, true
 }
 
-// touchLocked moves e to the most-recently-used end.
+// touchLocked moves e to the most-recently-used end. Caller holds
+// r.mu.
 func (r *Registry) touchLocked(e *entry) {
 	if e.elem != nil {
 		r.lru.MoveToBack(e.elem)
@@ -250,7 +250,7 @@ func (r *Registry) touchLocked(e *entry) {
 // condemnLocked removes e from the table and LRU so new lookups miss.
 // Unpinned entries free immediately; pinned ones free when the last
 // pin releases — the cache-eviction extension of the §10 drain
-// guarantee (never under a live batch).
+// guarantee (never under a live batch). Caller holds r.mu.
 func (r *Registry) condemnLocked(e *entry) {
 	delete(r.entries, e.hash)
 	if e.elem != nil {
@@ -266,7 +266,7 @@ func (r *Registry) condemnLocked(e *entry) {
 	}
 }
 
-// freeLocked returns e's accounted bytes.
+// freeLocked returns e's accounted bytes. Caller holds r.mu.
 func (r *Registry) freeLocked(e *entry) {
 	r.resident -= e.accounted
 	e.accounted = 0
@@ -310,13 +310,16 @@ func (p *Pin) Prepared(ctx context.Context) (*core.Prepared, bool, error) {
 	e, counted := p.e, false
 	for {
 		e.pmu.Lock()
-		if e.prepared != nil {
+		if prep := e.prepared; prep != nil {
+			// Capture under pmu: the pointer is immutable once
+			// published, but the read itself must not race the
+			// leader's store.
 			e.pmu.Unlock()
 			if counted {
-				return e.prepared, false, nil // coalesced wait ended: still a miss
+				return prep, false, nil // coalesced wait ended: still a miss
 			}
 			p.r.hits.Add(1)
-			return e.prepared, true, nil
+			return prep, true, nil
 		}
 		if e.preparing == nil {
 			ch := make(chan struct{})

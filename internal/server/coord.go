@@ -133,9 +133,9 @@ type Coordinator struct {
 	batchSeq atomic.Int64
 	reg      *obs.Registry
 
-	mu       sync.Mutex // guards circuits + useSeq
-	circuits map[api.Hash]*coordEntry
-	useSeq   int64
+	mu       sync.Mutex
+	circuits map[api.Hash]*coordEntry // guarded by mu
+	useSeq   int64                    // guarded by mu
 
 	// counters behind /metrics (lttad_coord_*)
 	accepted          atomic.Int64
@@ -165,7 +165,7 @@ type coordWorker struct {
 	alive atomic.Bool
 
 	mu       sync.Mutex
-	uploaded map[api.Hash]bool
+	uploaded map[api.Hash]bool // guarded by mu
 }
 
 // forget drops the local belief that the worker holds hash — called on
@@ -197,7 +197,7 @@ type coordEntry struct {
 	hash    api.Hash
 	canon   *api.UploadRequest
 	c       *circuit.Circuit
-	lastUse int64
+	lastUse int64 // guarded by Coordinator.mu
 }
 
 // NewCoordinator builds a Coordinator over the configured workers and

@@ -48,9 +48,9 @@ type coordBatch struct {
 	doneCh chan struct{}  // closed when remaining hits 0
 
 	mu        sync.Mutex
-	units     []*coordUnit
-	remaining int
-	checksRun int // table1 forward only; unit workloads use len(units)
+	units     []*coordUnit // guarded by mu
+	remaining int          // guarded by mu
+	checksRun int          // table1 forward only; unit workloads use len(units); guarded by mu
 }
 
 // coordUnit is one client-facing check flowing through the merge
@@ -63,24 +63,26 @@ type coordUnit struct {
 	delta     waveform.Time
 	spec      CheckSpec
 
-	delivered bool
-	attempts  int      // dispatches this unit has been part of (primary, requeue, and hedge all count)
-	inFlight  int      // dispatches currently racing it
-	workers   []string // every worker it has been dispatched to, in order
-	result    *CheckResult
+	delivered bool         // guarded by coordBatch.mu
+	attempts  int          // dispatches this unit has been part of (primary, requeue, and hedge all count); guarded by coordBatch.mu
+	inFlight  int          // dispatches currently racing it; guarded by coordBatch.mu
+	workers   []string     // every worker it has been dispatched to, in order; guarded by coordBatch.mu
+	result    *CheckResult // guarded by coordBatch.mu
 
 	// lastC holds a worker-reported Cancelled result that arrived while
 	// the batch context was still alive — the *worker's* context died
 	// (drain, kill), not the client's, so it is not terminal here. It
 	// is delivered only if every requeue attempt is exhausted.
-	lastC       *CheckResult
-	lastCWorker string
+	lastC       *CheckResult // guarded by coordBatch.mu
+	lastCWorker string       // guarded by coordBatch.mu
 }
 
 func (u *coordUnit) key(hash api.Hash) ShardKey {
 	return ShardKey{Hash: string(hash), Sink: u.sink}
 }
 
+// tried reports whether the unit was ever dispatched to addr. Caller
+// holds coordBatch.mu.
 func (u *coordUnit) tried(addr string) bool {
 	for _, w := range u.workers {
 		if w == addr {
@@ -101,7 +103,10 @@ func (cb *coordBatch) run(ctx context.Context, em *emitter) *Response {
 	if cb.req.Sweep != nil && cb.req.Sweep.Table1 {
 		cb.em = em
 		cb.runTable1Forward(ctx, em, resp)
-		resp.Done = DoneInfo{ChecksRun: cb.checksRun, ElapsedUs: time.Since(start).Microseconds()}
+		cb.mu.Lock()
+		n := cb.checksRun
+		cb.mu.Unlock()
+		resp.Done = DoneInfo{ChecksRun: n, ElapsedUs: time.Since(start).Microseconds()}
 		cb.logDone(ctx, start)
 		return resp
 	}
@@ -115,8 +120,8 @@ func (cb *coordBatch) run(ctx context.Context, em *emitter) *Response {
 	cb.ctx = bctx
 	cb.em = em
 	cb.doneCh = make(chan struct{})
-	cb.buildUnits()
 	cb.mu.Lock()
+	cb.buildUnits()
 	cb.remaining = len(cb.units)
 	if cb.remaining == 0 {
 		close(cb.doneCh)
@@ -149,6 +154,10 @@ func (cb *coordBatch) run(ctx context.Context, em *emitter) *Response {
 	cancel() // cut hedge losers and any stream still open
 	cb.wg.Wait()
 
+	// Every dispatch goroutine has exited (wg.Wait above), but the
+	// assembly still takes mu: the guarded fields are only ever read
+	// under it, and a finished batch has no contention to pay.
+	cb.mu.Lock()
 	if cb.req.Sweep == nil {
 		resp.Results = make([]CheckResult, len(cb.units))
 		for i, u := range cb.units {
@@ -157,7 +166,9 @@ func (cb *coordBatch) run(ctx context.Context, em *emitter) *Response {
 	} else {
 		cb.assembleSweeps(resp, em)
 	}
-	resp.Done = DoneInfo{ChecksRun: len(cb.units), ElapsedUs: time.Since(start).Microseconds()}
+	n := len(cb.units)
+	cb.mu.Unlock()
+	resp.Done = DoneInfo{ChecksRun: n, ElapsedUs: time.Since(start).Microseconds()}
 	cb.logDone(ctx, start)
 	return resp
 }
@@ -177,7 +188,8 @@ func (cb *coordBatch) logDone(ctx context.Context, start time.Time) {
 // buildUnits expands the workload into units in client-facing order:
 // explicit checks by batch position; sweeps delta-major, one unit per
 // (delta, primary output) with emitIndex the PO index — exactly the
-// index a single daemon stamps on its streamed sweep checks.
+// index a single daemon stamps on its streamed sweep checks. Caller
+// holds cb.mu.
 func (cb *coordBatch) buildUnits() {
 	c := cb.entry.c
 	if cb.req.Sweep == nil {
@@ -217,10 +229,12 @@ func (cb *coordBatch) dispatchAll(ctx context.Context) {
 	}
 	router := NewShardRouter(alive)
 	groups := make(map[string][]*coordUnit)
+	cb.mu.Lock()
 	for _, u := range cb.units {
 		owner, _ := router.Assign(u.key(cb.entry.hash))
 		groups[owner] = append(groups[owner], u)
 	}
+	cb.mu.Unlock()
 	addrs := make([]string, 0, len(groups))
 	for addr := range groups {
 		addrs = append(addrs, addr)
@@ -346,9 +360,9 @@ func (cb *coordBatch) deliver(shard []*coordUnit, res *CheckResult, worker strin
 	cb.deliverLocked(u, res, worker)
 }
 
-// deliverLocked finalises a unit (mu held): stamp placement, emit, and
-// count down. Emitting under mu orders every check event strictly
-// before the batch's done event.
+// deliverLocked finalises a unit: stamp placement, emit, and count
+// down. Caller holds cb.mu; emitting under it orders every check
+// event strictly before the batch's done event.
 func (cb *coordBatch) deliverLocked(u *coordUnit, res *CheckResult, worker string) {
 	r := *res
 	r.Index = u.emitIndex
@@ -531,7 +545,8 @@ func (cb *coordBatch) hedgePass(ctx context.Context) {
 // single daemon uses: wire result → core.Report → core.AggregateCircuit
 // → SweepFromReport. The round trip is lossless for every aggregated
 // field, so coordinator sweeps are field-identical to single-daemon
-// sweeps (the differential cluster suite pins this).
+// sweeps (the differential cluster suite pins this). Caller holds
+// cb.mu.
 func (cb *coordBatch) assembleSweeps(resp *Response, em *emitter) {
 	c := cb.entry.c
 	npos := len(c.PrimaryOutputs())
