@@ -11,11 +11,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/circuit"
 	"repro/internal/constraint"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/waveform"
 )
 
@@ -288,6 +290,62 @@ func benchIndustrialSweep(b *testing.B, cone bool) {
 
 func BenchmarkIndustrialSweepWhole(b *testing.B) { benchIndustrialSweep(b, false) }
 func BenchmarkIndustrialSweepCone(b *testing.B)  { benchIndustrialSweep(b, true) }
+
+// flightBenchTracer reproduces the daemon's always-on emission path —
+// the shared obs.Tracer histograms plus one flight record and one
+// latency exemplar per finished check — so the Flight variant below
+// prices the recorder exactly where the server pays for it.
+type flightBenchTracer struct {
+	*obs.Tracer
+	c       *circuit.Circuit
+	fr      *obs.FlightRecorder
+	traceID string
+}
+
+func (t flightBenchTracer) CheckDone(rep *core.Report) {
+	t.Tracer.CheckDone(rep)
+	t.fr.Record(&obs.CheckRecord{
+		TraceID:      t.traceID,
+		Sink:         t.c.Net(rep.Sink).Name,
+		Delta:        int64(rep.Delta),
+		Verdict:      rep.Final.String(),
+		ElapsedUs:    rep.Elapsed.Microseconds(),
+		Propagations: rep.Propagations,
+		Backtracks:   rep.Backtracks,
+	})
+	t.Tracer.CheckSeconds.SetExemplar(rep.Elapsed.Nanoseconds(), t.traceID)
+}
+
+// BenchmarkIndustrialSweepConeFlight is the cone sweep with the flight
+// recorder and metrics tracer live, the configuration every daemon
+// check actually runs in. Gated against the committed snapshot next to
+// the no-tracer BenchmarkIndustrialSweepCone so the always-on recorder
+// can never silently grow a tax on the hot path.
+func BenchmarkIndustrialSweepConeFlight(b *testing.B) {
+	c := gen.Industrial(7, 48, 10)
+	opts := core.Default()
+	opts.UseConeSlicing = true
+	v := core.NewVerifier(c, opts)
+	delta := v.Topological().Add(1)
+	ctx := context.Background()
+	tr := flightBenchTracer{
+		Tracer:  obs.NewTracer(),
+		c:       c,
+		fr:      obs.NewFlightRecorder(256, 32),
+		traceID: api.NewTraceID(),
+	}
+	req := core.Request{Delta: delta, Workers: 1, Arena: new(core.ReportArena), Tracer: tr}
+	if v.RunAll(ctx, req).Final != core.NoViolation {
+		b.Fatal("δ=top+1 must be refuted")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v.RunAll(ctx, req).Final != core.NoViolation {
+			b.Fatal("δ=top+1 must be refuted")
+		}
+	}
+}
 
 // --- substrate micro-benchmarks ------------------------------------------
 

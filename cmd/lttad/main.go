@@ -49,7 +49,16 @@
 //     -log-level debug|info|warn|error; at debug every check logs its
 //     sink, δ, verdict, and duration under the batch id
 //   - -trace-dir DIR writes a Perfetto-loadable trace_event timeline
-//     per batch to DIR/batch-<id>.trace.json
+//     per batch to DIR/batch-<id>.trace.json; on a coordinator the
+//     timeline is cluster-wide — routing, per-attempt worker dispatch,
+//     the workers' in-band check spans, and merge lanes, all under the
+//     batch's distributed trace id
+//   - GET /debug/checks (workers and coordinators alike) returns the
+//     always-on flight recorder: the last -flight-last completed checks
+//     and the -flight-slowest slowest ones with stage durations,
+//     verdicts, placement, and trace ids, plus per-bucket latency
+//     exemplars — introspection with zero configuration and O(1) cost
+//     per check
 package main
 
 import (
@@ -82,6 +91,8 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	traceDir := flag.String("trace-dir", "", "write a trace_event timeline per batch to this directory")
+	flightLast := flag.Int("flight-last", 0, "flight recorder: recent checks kept for /debug/checks (0 = default 256)")
+	flightSlowest := flag.Int("flight-slowest", 0, "flight recorder: slowest checks kept for /debug/checks (0 = default 32)")
 	registrySize := flag.Int("registry-size", 0, "circuit-registry capacity in circuits (0 = default 128)")
 	registryBytes := flag.Int64("registry-bytes", 0, "circuit-registry resident-byte cap (0 = default 1 GiB, negative = unlimited)")
 	coordinator := flag.String("coordinator", "", "run as a cluster coordinator over this comma-separated worker list (addr[,addr...]) instead of executing checks")
@@ -121,6 +132,9 @@ func main() {
 			ProbeInterval:       *probeInterval,
 			RegistryMaxCircuits: *registrySize,
 			Logger:              logger,
+			TraceDir:            *traceDir,
+			FlightLast:          *flightLast,
+			FlightSlowest:       *flightSlowest,
 		})
 	} else {
 		s = server.New(server.Config{
@@ -132,6 +146,9 @@ func main() {
 			BatchTimeout: *batchTimeout,
 			Logger:       logger,
 			TraceDir:     *traceDir,
+
+			FlightLast:    *flightLast,
+			FlightSlowest: *flightSlowest,
 
 			RegistryMaxCircuits: *registrySize,
 			RegistryMaxBytes:    *registryBytes,

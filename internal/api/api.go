@@ -152,6 +152,13 @@ type Request struct {
 	// Workers log it (so a cluster-wide batch can be traced across
 	// daemons) and otherwise ignore it; plain clients leave it nil.
 	Shard *ShardInfo `json:"shard,omitempty"`
+
+	// Trace is the distributed-tracing context of this submission. A
+	// client may send one (joining the batch to an outer trace); when it
+	// is absent or malformed the admitting tier mints a fresh trace id.
+	// A coordinator re-stamps ParentSpan with a per-attempt dispatch
+	// span id on the shard requests it fans out.
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // ShardInfo identifies one coordinator→worker dispatch of a sharded
@@ -282,6 +289,19 @@ type CheckResult struct {
 	// leave them zero; verdicts and statistics never depend on them.
 	Worker  string `json:"worker,omitempty"`
 	Attempt int    `json:"attempt,omitempty"`
+
+	// TraceID/SpanID tie this result to the batch's distributed trace:
+	// TraceID is the batch trace id, SpanID the id of the span the
+	// check ran under. StartUnixUs anchors the check start in Unix
+	// microseconds and StageUs carries the per-stage durations in
+	// pipeline order (fixpoint, gitd, stems, casean) so flight records
+	// and cluster timelines survive the wire round trip. All are
+	// stamped at the emission layer, never inside report conversion,
+	// and verdicts never depend on them.
+	TraceID     string  `json:"traceId,omitempty"`
+	SpanID      string  `json:"spanId,omitempty"`
+	StartUnixUs int64   `json:"startUnixUs,omitempty"`
+	StageUs     []int64 `json:"stageUs,omitempty"`
 }
 
 // SweepResult aggregates one δ of a sweep, mirroring
@@ -329,6 +349,9 @@ type Response struct {
 	Sweeps  []SweepResult `json:"sweeps,omitempty"`
 	Rows    []Row         `json:"rows,omitempty"`
 	Done    DoneInfo      `json:"done"`
+	// TraceID is the batch's distributed trace id (minted by the
+	// admitting tier when the request carried none).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // DoneInfo closes a batch: how many checks ran and the batch wall
@@ -339,16 +362,23 @@ type DoneInfo struct {
 }
 
 // Event is one NDJSON line of a streaming response. Type is "circuit"
-// (first line), "check", "sweep", "rows", "error", or "done" (always
-// the last line).
+// (first line), "check", "sweep", "rows", "spans", "error", or "done"
+// (always the last line). Receivers must skip event types they do not
+// know — later minor revisions add new types (as "spans" was added)
+// without a version bump.
 type Event struct {
 	Type    string       `json:"type"`
 	Circuit *CircuitInfo `json:"circuit,omitempty"`
 	Check   *CheckResult `json:"check,omitempty"`
 	Sweep   *SweepResult `json:"sweep,omitempty"`
 	Rows    []Row        `json:"rows,omitempty"`
+	Spans   *SpanSummary `json:"spans,omitempty"`
 	Error   string       `json:"error,omitempty"`
 	Done    *DoneInfo    `json:"done,omitempty"`
+	// TraceID echoes the batch trace id on every event line, so a
+	// streaming client can correlate a partial stream (even one cut
+	// before "done") with server-side spans and flight records.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // ErrorBody is the structured body of every non-2xx response.

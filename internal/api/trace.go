@@ -1,0 +1,113 @@
+package api
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceContext is the stdlib-only distributed-tracing context carried
+// on the wire envelope: a 128-bit trace id naming one end-to-end batch
+// submission, the span id of the caller's enclosing span, and an
+// optional tenant identity. The admitting tier (coordinator in a
+// cluster, the daemon itself for direct submissions) mints the trace
+// id when the client did not send one; every NDJSON event and terminal
+// result then echoes it, and a coordinator re-stamps ParentSpan with a
+// per-attempt child span on each dispatch, requeue, and hedge.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex digits (128 bits), shared by every
+	// span, log line, and flight record of one batch submission.
+	TraceID string `json:"traceId"`
+	// ParentSpan is the 16-hex-digit span id of the sender's enclosing
+	// span (empty at the root).
+	ParentSpan string `json:"parentSpan,omitempty"`
+	// Tenant is an optional caller identity, propagated into logs,
+	// spans, and flight records only — no quota or authorization
+	// semantics are attached to it here.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// NewTraceID mints a 128-bit trace id as 32 lowercase hex digits.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID mints a 64-bit span id as 16 lowercase hex digits.
+func NewSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	// crypto/rand.Read never fails on the supported platforms; a
+	// zero-filled id on a hypothetical failure is still well-formed.
+	_, _ = rand.Read(b)
+	return hex.EncodeToString(b)
+}
+
+// ValidTraceID reports whether s is 32 lowercase hex digits.
+func ValidTraceID(s string) bool { return validHex(s, 32) }
+
+// ValidSpanID reports whether s is 16 lowercase hex digits.
+func ValidSpanID(s string) bool { return validHex(s, 16) }
+
+func validHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EnsureTrace returns a complete trace context derived from tc: a nil
+// or malformed-trace-id context gets a freshly minted id (the caller
+// is the admitting tier), while tenant and parent span are preserved
+// when well-formed. The returned context is always a private copy.
+func EnsureTrace(tc *TraceContext) *TraceContext {
+	out := &TraceContext{}
+	if tc != nil {
+		out.TraceID, out.ParentSpan, out.Tenant = tc.TraceID, tc.ParentSpan, tc.Tenant
+	}
+	if !ValidTraceID(out.TraceID) {
+		out.TraceID = NewTraceID()
+	}
+	if out.ParentSpan != "" && !ValidSpanID(out.ParentSpan) {
+		out.ParentSpan = ""
+	}
+	return out
+}
+
+// Span is one compact completed span inside a SpanSummary: a name plus
+// a start offset and duration in microseconds, both relative to the
+// summary's wall-clock anchor.
+type Span struct {
+	Name    string `json:"name"`
+	StartUs int64  `json:"startUs"`
+	DurUs   int64  `json:"durUs"`
+}
+
+// SpanSummary is the per-check span bundle a worker returns in-band on
+// a traced streaming batch (Event type "spans"): enough for the
+// coordinator to place the check's execution — and its pipeline
+// stages — on one cluster-wide timeline without a second round trip.
+// Index addresses the check inside the shard request exactly like the
+// matching CheckResult's Index.
+type SpanSummary struct {
+	Index   int    `json:"index"`
+	TraceID string `json:"traceId"`
+	SpanID  string `json:"spanId"`
+	Sink    string `json:"sink"`
+	Delta   int64  `json:"delta"`
+	// Worker and Attempt mirror the ShardInfo the check ran under;
+	// zero/empty on single-daemon batches.
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// StartUnixUs anchors the summary in wall-clock time (Unix
+	// microseconds at check start); span offsets are relative to it.
+	StartUnixUs int64  `json:"startUnixUs"`
+	DurUs       int64  `json:"durUs"`
+	Verdict     string `json:"verdict"`
+	// Spans lists the pipeline-stage spans that ran, in order.
+	Spans []Span `json:"spans,omitempty"`
+}

@@ -1,0 +1,76 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceIDMinting(t *testing.T) {
+	id, span := NewTraceID(), NewSpanID()
+	if !ValidTraceID(id) {
+		t.Fatalf("NewTraceID() = %q, not 32 lowercase hex digits", id)
+	}
+	if !ValidSpanID(span) {
+		t.Fatalf("NewSpanID() = %q, not 16 lowercase hex digits", span)
+	}
+	if other := NewTraceID(); other == id {
+		t.Fatalf("two minted trace ids collided: %q", id)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for s, want := range map[string]bool{
+		strings.Repeat("a", 32):            true,
+		"0123456789abcdef0123456789abcdef": true,
+		"":                                 false,
+		strings.Repeat("a", 31):            false, // short
+		strings.Repeat("a", 33):            false, // long
+		strings.Repeat("A", 32):            false, // uppercase
+		strings.Repeat("g", 32):            false, // non-hex
+		strings.Repeat("a", 30) + "-a":     false,
+	} {
+		if got := ValidTraceID(s); got != want {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", s, got, want)
+		}
+	}
+	if ValidSpanID(strings.Repeat("a", 32)) || !ValidSpanID(strings.Repeat("a", 16)) {
+		t.Error("ValidSpanID accepts 32 digits or rejects 16")
+	}
+}
+
+// TestEnsureTrace pins the admitting-tier contract: a missing or
+// malformed trace id is replaced with a freshly minted one, a valid
+// context passes through intact, and the result is always a private
+// copy of the caller's.
+func TestEnsureTrace(t *testing.T) {
+	if tc := EnsureTrace(nil); !ValidTraceID(tc.TraceID) || tc.ParentSpan != "" || tc.Tenant != "" {
+		t.Fatalf("EnsureTrace(nil) = %+v, want a fresh bare context", tc)
+	}
+
+	in := &TraceContext{TraceID: NewTraceID(), ParentSpan: NewSpanID(), Tenant: "acme"}
+	out := EnsureTrace(in)
+	if *out != *in {
+		t.Fatalf("valid context not preserved: got %+v, want %+v", out, in)
+	}
+	if out == in {
+		t.Fatal("EnsureTrace returned the caller's pointer, not a copy")
+	}
+	out.TraceID = "mutated"
+	if in.TraceID == "mutated" {
+		t.Fatal("mutating the returned context reached the caller's")
+	}
+
+	// A malformed trace id is replaced; tenant survives the re-mint.
+	remint := EnsureTrace(&TraceContext{TraceID: "not-hex", Tenant: "acme"})
+	if !ValidTraceID(remint.TraceID) || remint.TraceID == "not-hex" {
+		t.Fatalf("malformed trace id not re-minted: %+v", remint)
+	}
+	if remint.Tenant != "acme" {
+		t.Fatalf("tenant lost across re-mint: %+v", remint)
+	}
+
+	// A malformed parent span is dropped rather than propagated.
+	if tc := EnsureTrace(&TraceContext{TraceID: NewTraceID(), ParentSpan: "xyz"}); tc.ParentSpan != "" {
+		t.Fatalf("malformed parent span survived: %+v", tc)
+	}
+}

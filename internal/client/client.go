@@ -28,6 +28,12 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// OnUnknownEvent, when set, is told about NDJSON event kinds this
+	// client version does not know (once per kind per stream). The
+	// protocol adds event kinds in minor revisions without a version
+	// bump, so unknown kinds are a compatibility warning, never an
+	// error; they are skipped rather than handed to the stream callback.
+	OnUnknownEvent func(kind string)
 }
 
 // New returns a client for the given base URL.
@@ -205,7 +211,7 @@ func (c *Client) StreamByHash(ctx context.Context, hash api.Hash, req api.Reques
 	if err != nil {
 		return err
 	}
-	return drainEvents(resp, fn)
+	return c.drainEvents(resp, fn)
 }
 
 // CheckInline submits a batch with the netlist carried in the request
@@ -275,7 +281,7 @@ func (c *Client) Stream(ctx context.Context, req api.Request, fn func(api.Event)
 	if err != nil {
 		return err
 	}
-	return drainEvents(resp, fn)
+	return c.drainEvents(resp, fn)
 }
 
 // TruncatedStreamError reports an NDJSON result stream that ended
@@ -334,17 +340,28 @@ func Retryable(err error) bool {
 	return errors.As(err, &opErr) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
+// knownEventKinds are the NDJSON event types this client version
+// understands; everything else is a future minor revision's addition
+// and is skipped with a warning (see Client.OnUnknownEvent).
+var knownEventKinds = map[string]bool{
+	"circuit": true, "check": true, "sweep": true, "rows": true,
+	"spans": true, "error": true, "done": true,
+}
+
 // drainEvents reads an NDJSON event stream to its end. A batch stream
 // always terminates with a "done" event; a stream that ends — cleanly
 // or not — without one was cut mid-batch and is reported as a
 // *TruncatedStreamError so callers cannot mistake a dropped connection
 // for a short batch. An error returned by fn aborts the drain and is
-// returned as-is.
-func drainEvents(resp *http.Response, fn func(api.Event) error) error {
+// returned as-is. Event kinds this version does not know are skipped
+// (warned once per kind), never failed on — the wire contract lets
+// minor revisions add kinds freely.
+func (c *Client) drainEvents(resp *http.Response, fn func(api.Event) error) error {
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	events, doneSeen := 0, false
+	var warned map[string]bool
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -355,6 +372,16 @@ func drainEvents(resp *http.Response, fn func(api.Event) error) error {
 			return fmt.Errorf("client: decoding event: %w", err)
 		}
 		events++
+		if !knownEventKinds[ev.Type] {
+			if c.OnUnknownEvent != nil && !warned[ev.Type] {
+				if warned == nil {
+					warned = map[string]bool{}
+				}
+				warned[ev.Type] = true
+				c.OnUnknownEvent(ev.Type)
+			}
+			continue
+		}
 		if ev.Type == "done" {
 			doneSeen = true
 		}

@@ -136,6 +136,69 @@ func TestStreamFnErrorPropagates(t *testing.T) {
 	}
 }
 
+// TestStreamSkipsUnknownEvents is the forward-compatibility
+// regression for the NDJSON stream: a future minor revision adds an
+// event kind this client does not know, and the stream must complete —
+// the unknown events skipped, never handed to the callback, and warned
+// about exactly once per kind no matter how often they repeat.
+func TestStreamSkipsUnknownEvents(t *testing.T) {
+	ts := httptest.NewServer(func() http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"type":"circuit","circuit":{"name":"c17"}}`)
+			fmt.Fprintln(w, `{"type":"gc_stats","heapBytes":12345,"futureField":[1,2]}`)
+			fmt.Fprintln(w, `{"type":"check","check":{"sink":"G0","delta":40,"index":0,"final":"N"}}`)
+			fmt.Fprintln(w, `{"type":"gc_stats","heapBytes":67890}`)
+			fmt.Fprintln(w, `{"type":"shard_map","workers":["a","b"]}`)
+			fmt.Fprintln(w, `{"type":"done","done":{"checksRun":1}}`)
+		}
+	}())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	var warnings []string
+	c.OnUnknownEvent = func(kind string) { warnings = append(warnings, kind) }
+	var seen []string
+	err := c.Stream(context.Background(),
+		api.Request{Netlist: "x", Checks: []api.CheckSpec{{Sink: "G0"}}},
+		func(ev api.Event) error {
+			seen = append(seen, ev.Type)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("stream with unknown event kinds failed: %v", err)
+	}
+	wantSeen := []string{"circuit", "check", "done"}
+	if fmt.Sprint(seen) != fmt.Sprint(wantSeen) {
+		t.Fatalf("callback saw %v, want only the known kinds %v", seen, wantSeen)
+	}
+	// gc_stats appears twice on the wire but warns once; shard_map once.
+	wantWarn := []string{"gc_stats", "shard_map"}
+	if fmt.Sprint(warnings) != fmt.Sprint(wantWarn) {
+		t.Fatalf("warned %v, want once per kind %v", warnings, wantWarn)
+	}
+}
+
+// TestStreamUnknownEventsNoHook: with no OnUnknownEvent hook set the
+// skip is silent, and the stream still completes.
+func TestStreamUnknownEventsNoHook(t *testing.T) {
+	ts := httptest.NewServer(streamHandler(1, func(w http.ResponseWriter) {
+		fmt.Fprintln(w, `{"type":"mystery"}`)
+		fmt.Fprintln(w, `{"type":"done","done":{"checksRun":1}}`)
+	}))
+	defer ts.Close()
+
+	events := 0
+	if err := New(ts.URL).Stream(context.Background(),
+		api.Request{Netlist: "x", Checks: []api.CheckSpec{{Sink: "G0"}}},
+		countEvents(&events)); err != nil {
+		t.Fatalf("hookless stream failed on unknown kind: %v", err)
+	}
+	if events != 3 { // circuit + check + done; mystery skipped
+		t.Fatalf("callback saw %d events, want 3", events)
+	}
+}
+
 // TestRetryableClassification pins the retry predicate the coordinator
 // and other retry loops share.
 func TestRetryableClassification(t *testing.T) {

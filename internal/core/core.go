@@ -224,7 +224,10 @@ type Report struct {
 	DominatorRounds int
 	// Propagations counts gate-constraint applications.
 	Propagations int64
-	// Elapsed is the wall-clock time of the check.
+	// Started is the wall-clock instant the check began; Elapsed is its
+	// wall-clock time. Together they place the check on a wall-clock
+	// timeline (the lttad cluster trace) without re-measuring.
+	Started time.Time
 	Elapsed time.Duration
 
 	// Stats carries the engine-level telemetry of the check (always

@@ -229,7 +229,7 @@ func (v *Verifier) run(ctx context.Context, req Request) *Report {
 	*rep = Report{
 		Sink: req.Sink, Delta: req.Delta,
 		AfterGITD: StageSkipped, AfterStem: StageSkipped, CaseAnalysis: StageSkipped,
-		Backtracks: -1,
+		Backtracks: -1, Started: start,
 	}
 	if rs.tracer != nil {
 		rs.tracer.CheckStart(req.Sink, req.Delta)

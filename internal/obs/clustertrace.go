@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ClusterTrace assembles one cluster-wide batch timeline from span
+// endpoints reported by different processes: the coordinator's own
+// routing/dispatch/merge spans plus the per-check span summaries its
+// workers return in-band. Because every contributor reports wall-clock
+// (Unix microsecond) endpoints rather than live B/E callbacks, spans
+// are recorded as Chrome trace_event "X" complete events, which
+// tolerate out-of-order arrival — a requeued attempt's span reaches
+// the coordinator long after later primaries finished.
+//
+// Spans are grouped (rendered as processes): one group for the
+// coordinator, one per worker. Within a group, lanes (threads) are
+// allocated greedily — a span reuses the lowest lane whose previous
+// span ended at or before the new span's start — so overlap between
+// concurrent attempts stays visible while the timeline remains
+// compact. WriteTo sorts events by timestamp, giving the per-lane
+// monotonic order ValidateTrace checks.
+type ClusterTrace struct {
+	origin int64 // Unix µs all timestamps are relative to
+
+	mu     sync.Mutex
+	events []TraceEvent           // guarded by mu
+	groups map[string]*traceGroup // guarded by mu
+	pids   int                    // guarded by mu: process ids handed out
+}
+
+type traceGroup struct {
+	pid   int
+	lanes []int64 // per lane, end ts (µs since origin) of its last span
+}
+
+// NewClusterTrace starts a timeline anchored at origin (typically the
+// batch admission time); spans wholly before origin are clamped to it.
+func NewClusterTrace(origin time.Time) *ClusterTrace {
+	return &ClusterTrace{origin: origin.UnixMicro(), groups: map[string]*traceGroup{}}
+}
+
+// Span records one completed span in the named group. startUnixUs is
+// the span's wall-clock start (Unix µs), durUs its duration; args are
+// optional viewer metadata. Safe for concurrent use.
+func (ct *ClusterTrace) Span(group, name string, startUnixUs, durUs int64, args map[string]any) {
+	if durUs < 0 {
+		durUs = 0
+	}
+	ts := startUnixUs - ct.origin
+	if ts < 0 {
+		ts = 0 // clock skew between tiers; clamp rather than break validation
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	g := ct.groups[group]
+	if g == nil {
+		ct.pids++
+		g = &traceGroup{pid: ct.pids}
+		ct.groups[group] = g
+		ct.events = append(ct.events, TraceEvent{
+			Name: "process_name", Ph: "M", Pid: g.pid, Tid: 0,
+			Args: map[string]any{"name": group},
+		})
+	}
+	lane := -1
+	for i, end := range g.lanes {
+		if end <= ts {
+			lane = i
+			break
+		}
+	}
+	if lane < 0 {
+		lane = len(g.lanes)
+		g.lanes = append(g.lanes, 0)
+		ct.events = append(ct.events, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: g.pid, Tid: lane + 1,
+			Args: map[string]any{"name": fmt.Sprintf("lane %d", lane+1)},
+		})
+	}
+	g.lanes[lane] = ts + durUs
+	ct.events = append(ct.events, TraceEvent{
+		Name: name, Ph: "X", Ts: float64(ts), Dur: float64(durUs),
+		Pid: g.pid, Tid: lane + 1, Args: args,
+	})
+}
+
+// Len reports the number of recorded events.
+func (ct *ClusterTrace) Len() int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return len(ct.events)
+}
+
+// WriteTrace renders the timeline as trace_event JSON, loadable in
+// Perfetto. Events are sorted by timestamp (metadata first) so every
+// lane is monotonic regardless of arrival order.
+func (ct *ClusterTrace) WriteTrace(w io.Writer) error {
+	ct.mu.Lock()
+	events := make([]TraceEvent, len(ct.events))
+	copy(events, ct.events)
+	ct.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		mi, mj := events[i].Ph == "M", events[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

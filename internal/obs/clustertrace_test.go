@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestClusterTraceLanesAndGroups drives the lane allocator directly:
+// overlapping spans inside one group must land on distinct lanes,
+// back-to-back spans must reuse a lane, and each group must become its
+// own process with a name metadata event. Spans arrive out of order —
+// exactly how requeued attempts reach a coordinator — and the written
+// trace must still validate.
+func TestClusterTraceLanesAndGroups(t *testing.T) {
+	origin := time.Unix(1000, 0)
+	us := origin.UnixMicro()
+	ct := obs.NewClusterTrace(origin)
+
+	// Two overlapping coordinator spans → two lanes; a third span
+	// starting after both end reuses lane 1.
+	ct.Span("coordinator", "dispatch a", us+0, 100, nil)
+	ct.Span("coordinator", "dispatch b", us+50, 100, nil)
+	ct.Span("coordinator", "merge", us+200, 10, map[string]any{"trace_id": "x"})
+	// A worker span arriving late, with a start before the second
+	// coordinator span — out-of-order recording must be tolerated.
+	ct.Span("worker w1", "check G0", us+20, 40, nil)
+	// Clock skew: a span "before" the origin clamps to ts 0.
+	ct.Span("worker w1", "check G1", us-500, 30, nil)
+	// Negative duration clamps to zero rather than breaking Perfetto.
+	ct.Span("worker w1", "check G2", us+300, -5, nil)
+
+	// 6 spans + 2 process_name + 3 lane thread_name events (2
+	// coordinator lanes, 1 worker lane — the skew-clamped span starts
+	// at ts 0 while lane 1 is busy until 60... so it opens lane 2).
+	var buf bytes.Buffer
+	if err := ct.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("cluster trace does not validate: %v\n%s", err, buf.String())
+	}
+	if n != ct.Len() {
+		t.Fatalf("validator saw %d events, trace holds %d", n, ct.Len())
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`"name":"coordinator"`, `"name":"worker w1"`, // process names
+		`"name":"dispatch a"`, `"name":"check G0"`,
+		`"ph":"X"`, `"trace_id":"x"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace JSON missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, `"name":"lane 2"`) {
+		t.Error("overlapping spans did not open a second lane")
+	}
+}
+
+// TestClusterTraceLaneReuse: strictly sequential spans in one group
+// stay on one lane no matter how many there are.
+func TestClusterTraceLaneReuse(t *testing.T) {
+	origin := time.Unix(2000, 0)
+	us := origin.UnixMicro()
+	ct := obs.NewClusterTrace(origin)
+	for i := int64(0); i < 20; i++ {
+		ct.Span("worker w1", "check", us+i*100, 50, nil)
+	}
+	var buf bytes.Buffer
+	if err := ct.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `"name":"lane 1"`) {
+		t.Fatal("no lane metadata recorded")
+	}
+	if strings.Contains(text, `"name":"lane 2"`) {
+		t.Fatal("sequential spans opened a second lane; reuse is broken")
+	}
+	if _, err := obs.ValidateTrace(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterTraceConcurrent records from many goroutines at once —
+// the coordinator's dispatch goroutines and merge path share one
+// ClusterTrace — and the result must still be a valid timeline.
+func TestClusterTraceConcurrent(t *testing.T) {
+	origin := time.Unix(3000, 0)
+	us := origin.UnixMicro()
+	ct := obs.NewClusterTrace(origin)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			group := []string{"coordinator", "worker a", "worker b", "merge"}[g]
+			for i := int64(0); i < 50; i++ {
+				ct.Span(group, "s", us+i*10, 5, nil)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	var buf bytes.Buffer
+	if err := ct.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("concurrently-built trace does not validate: %v", err)
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// CheckRecord is one completed check as the flight recorder keeps it:
+// identity (trace/span/tenant/batch), what was checked, where it ran
+// (placement and attempt), how it went (verdict, stage durations, work
+// counters). Records are immutable once handed to Record.
+type CheckRecord struct {
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	Batch   int64  `json:"batch"`
+
+	Sink    string `json:"sink"`
+	Delta   int64  `json:"delta"`
+	Verdict string `json:"verdict"`
+	Error   string `json:"error,omitempty"`
+
+	// Worker/Attempt/Hedge are placement metadata: on a coordinator the
+	// worker address and dispatch attempt that produced the merged
+	// result, on a worker its own shard attempt (zero for direct
+	// batches).
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Hedge   bool   `json:"hedge,omitempty"`
+
+	StartUnixUs int64 `json:"startUnixUs,omitempty"`
+	ElapsedUs   int64 `json:"elapsedUs"`
+	// StageUs holds per-stage durations in pipeline order (fixpoint,
+	// gitd, stems, casean), microseconds.
+	StageUs []int64 `json:"stageUs,omitempty"`
+
+	Propagations int64 `json:"propagations"`
+	Backtracks   int   `json:"backtracks"`
+}
+
+// FlightRecorder is an always-on, lock-cheap record of recent and
+// slow checks: a ring buffer of the last N completed checks plus a
+// min-heap of the K slowest ever seen, snapshotted on demand by
+// GET /debug/checks.
+//
+// The fast path is O(1) atomics — one fetch-add for the ring slot, one
+// pointer store, one threshold load — so one recorder is shared across
+// every worker of a parallel sweep without contention. The slowest-K
+// heap hides behind an atomic admission threshold (the heap's current
+// minimum): only candidates that might displace it take the mutex.
+// The threshold is re-checked under the lock and only ever rises, so a
+// stale (low) read costs one harmless lock acquisition and the heap
+// stays exactly the top K even under concurrent recording.
+type FlightRecorder struct {
+	ring []atomic.Pointer[CheckRecord] // fixed length, slot = seq % len
+	head atomic.Uint64                 // records ever written
+
+	slowMin atomic.Int64 // admission threshold: current heap minimum (-1 until full)
+	mu      sync.Mutex
+	slow    slowHeap // guarded by mu
+	slowCap int
+}
+
+// NewFlightRecorder builds a recorder keeping the last `last` checks
+// and the `slowest` slowest. Non-positive sizes fall back to defaults
+// (256 last, 32 slowest).
+func NewFlightRecorder(last, slowest int) *FlightRecorder {
+	if last <= 0 {
+		last = 256
+	}
+	if slowest <= 0 {
+		slowest = 32
+	}
+	fr := &FlightRecorder{
+		ring:    make([]atomic.Pointer[CheckRecord], last),
+		slowCap: slowest,
+	}
+	fr.slowMin.Store(-1) // every record (ElapsedUs >= 0) qualifies until the heap fills
+	return fr
+}
+
+// Record stores one completed check. rec must not be mutated after the
+// call (the recorder keeps the pointer). Safe for concurrent use.
+func (fr *FlightRecorder) Record(rec *CheckRecord) {
+	seq := fr.head.Add(1) - 1
+	fr.ring[seq%uint64(len(fr.ring))].Store(rec)
+	if rec.ElapsedUs > fr.slowMin.Load() {
+		fr.recordSlow(rec)
+	}
+}
+
+func (fr *FlightRecorder) recordSlow(rec *CheckRecord) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	if len(fr.slow) < fr.slowCap {
+		heap.Push(&fr.slow, rec)
+		if len(fr.slow) == fr.slowCap {
+			fr.slowMin.Store(fr.slow[0].ElapsedUs)
+		}
+		return
+	}
+	// Re-check under the lock: the threshold may have risen since the
+	// racy fast-path read.
+	if rec.ElapsedUs <= fr.slow[0].ElapsedUs {
+		return
+	}
+	fr.slow[0] = rec
+	heap.Fix(&fr.slow, 0)
+	fr.slowMin.Store(fr.slow[0].ElapsedUs)
+}
+
+// Recorded reports how many checks were ever recorded.
+func (fr *FlightRecorder) Recorded() uint64 { return fr.head.Load() }
+
+// FlightSnapshot is the /debug/checks view of a recorder: how many
+// checks were ever recorded, the most recent ones (newest first), and
+// the slowest ones (slowest first).
+type FlightSnapshot struct {
+	Recorded uint64        `json:"recorded"`
+	Last     []CheckRecord `json:"last"`
+	Slowest  []CheckRecord `json:"slowest"`
+}
+
+// Snapshot captures the recorder's current state. Under concurrent
+// recording the ring walk is slot-wise atomic but not a consistent
+// cut: a slot being overwritten mid-walk yields the newer record.
+func (fr *FlightRecorder) Snapshot() FlightSnapshot {
+	head := fr.head.Load()
+	n := head
+	if max := uint64(len(fr.ring)); n > max {
+		n = max
+	}
+	snap := FlightSnapshot{Recorded: head}
+	for i := uint64(0); i < n; i++ {
+		rec := fr.ring[(head-1-i)%uint64(len(fr.ring))].Load()
+		if rec == nil {
+			continue // slot claimed by a concurrent Record, not yet stored
+		}
+		snap.Last = append(snap.Last, *rec)
+	}
+	fr.mu.Lock()
+	slow := make([]*CheckRecord, len(fr.slow))
+	copy(slow, fr.slow)
+	fr.mu.Unlock()
+	// Heap order is only min-at-root; present slowest first.
+	sort.Slice(slow, func(i, j int) bool { return slow[i].ElapsedUs > slow[j].ElapsedUs })
+	for _, rec := range slow {
+		snap.Slowest = append(snap.Slowest, *rec)
+	}
+	return snap
+}
+
+// slowHeap is a min-heap of records by elapsed time, so the root is
+// the cheapest record to evict when a slower one arrives.
+type slowHeap []*CheckRecord
+
+func (h slowHeap) Len() int           { return len(h) }
+func (h slowHeap) Less(i, j int) bool { return h[i].ElapsedUs < h[j].ElapsedUs }
+func (h slowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *slowHeap) Push(x any)        { *h = append(*h, x.(*CheckRecord)) }
+func (h *slowHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

@@ -1,0 +1,212 @@
+package obs_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// TestFlightRecorderWraparound fills a small ring several times over
+// and checks the snapshot invariants: Recorded counts everything ever
+// written, Last holds exactly the ring's worth of newest records in
+// newest-first order, and Slowest is exactly the top-K by elapsed
+// time, slowest first.
+func TestFlightRecorderWraparound(t *testing.T) {
+	const last, slowest, total = 8, 4, 37
+	fr := obs.NewFlightRecorder(last, slowest)
+	// A permutation of elapsed values so the slowest records are
+	// scattered through the sequence, not clustered at either end.
+	for i := 0; i < total; i++ {
+		fr.Record(&obs.CheckRecord{
+			Batch:     int64(i),
+			Sink:      fmt.Sprintf("G%d", i),
+			ElapsedUs: int64((i * 17) % total),
+		})
+	}
+	if got := fr.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+	snap := fr.Snapshot()
+	if snap.Recorded != total {
+		t.Fatalf("snapshot.Recorded = %d, want %d", snap.Recorded, total)
+	}
+	if len(snap.Last) != last {
+		t.Fatalf("kept %d recent records, want the ring size %d", len(snap.Last), last)
+	}
+	for i, rec := range snap.Last {
+		if want := int64(total - 1 - i); rec.Batch != want {
+			t.Errorf("Last[%d].Batch = %d, want %d (newest first)", i, rec.Batch, want)
+		}
+	}
+	if len(snap.Slowest) != slowest {
+		t.Fatalf("kept %d slowest records, want %d", len(snap.Slowest), slowest)
+	}
+	// The true top-K elapsed values are total-1 .. total-slowest.
+	for i, rec := range snap.Slowest {
+		if want := int64(total - 1 - i); rec.ElapsedUs != want {
+			t.Errorf("Slowest[%d].ElapsedUs = %d, want %d", i, rec.ElapsedUs, want)
+		}
+	}
+}
+
+// TestFlightRecorderShortHistory: a recorder that never filled its
+// ring returns only what was recorded, and a sub-capacity slow heap
+// returns everything seen.
+func TestFlightRecorderShortHistory(t *testing.T) {
+	fr := obs.NewFlightRecorder(64, 16)
+	fr.Record(&obs.CheckRecord{Sink: "a", ElapsedUs: 5})
+	fr.Record(&obs.CheckRecord{Sink: "b", ElapsedUs: 3})
+	snap := fr.Snapshot()
+	if len(snap.Last) != 2 || len(snap.Slowest) != 2 || snap.Recorded != 2 {
+		t.Fatalf("short history snapshot: last=%d slowest=%d recorded=%d, want 2/2/2",
+			len(snap.Last), len(snap.Slowest), snap.Recorded)
+	}
+	if snap.Last[0].Sink != "b" || snap.Slowest[0].Sink != "a" {
+		t.Fatalf("ordering: last[0]=%s (want b), slowest[0]=%s (want a)",
+			snap.Last[0].Sink, snap.Slowest[0].Sink)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers one shared recorder from many
+// goroutines (the shape of a parallel sweep sharing the server's
+// always-on recorder) while snapshots run concurrently; under -race
+// this doubles as the recorder's data-race proof. Every record carries
+// a unique elapsed value, so the slowest-K set is exactly determined
+// even though arrival order is not.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	const goroutines, per, slowest = 8, 500, 16
+	fr := obs.NewFlightRecorder(128, slowest)
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() { // concurrent reader: snapshots must stay well-formed mid-write
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := fr.Snapshot()
+			if len(snap.Last) > 128 || len(snap.Slowest) > slowest {
+				t.Errorf("snapshot overflow: last=%d slowest=%d", len(snap.Last), len(snap.Slowest))
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fr.Record(&obs.CheckRecord{
+					Worker:    fmt.Sprintf("w%d", g),
+					ElapsedUs: int64(g*per + i),
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	const total = goroutines * per
+	if got := fr.Recorded(); got != total {
+		t.Fatalf("Recorded() = %d, want %d", got, total)
+	}
+	snap := fr.Snapshot()
+	if len(snap.Slowest) != slowest {
+		t.Fatalf("kept %d slowest, want %d", len(snap.Slowest), slowest)
+	}
+	// Unique elapsed values make the top-K exact: total-1 downwards.
+	got := make([]int64, len(snap.Slowest))
+	for i, rec := range snap.Slowest {
+		got[i] = rec.ElapsedUs
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] > got[j] })
+	for i, v := range got {
+		if want := int64(total - 1 - i); v != want {
+			t.Fatalf("slowest set wrong at %d: got %d, want %d (full set %v)", i, v, want, got)
+		}
+	}
+}
+
+// flightCoreTracer adapts a FlightRecorder to core.Tracer so a RunAll
+// sweep records every finished check — the wiring the server uses, in
+// miniature. Embedding obs.Tracer supplies the no-op callbacks.
+type flightCoreTracer struct {
+	*obs.Tracer
+	c  *circuit.Circuit
+	fr *obs.FlightRecorder
+}
+
+func (t flightCoreTracer) CheckDone(rep *core.Report) {
+	t.Tracer.CheckDone(rep)
+	t.fr.Record(&obs.CheckRecord{
+		Sink:         t.c.Net(rep.Sink).Name,
+		Delta:        int64(rep.Delta),
+		Verdict:      rep.Final.String(),
+		ElapsedUs:    rep.Elapsed.Microseconds(),
+		Propagations: rep.Propagations,
+		Backtracks:   rep.Backtracks,
+	})
+}
+
+// TestFlightRecorderSharedAcrossRunAll shares one recorder across all
+// workers of a parallel sweep (run under -race in CI): every check
+// lands exactly once and the slowest list names real sinks.
+func TestFlightRecorderSharedAcrossRunAll(t *testing.T) {
+	c := gen.Industrial(3, 16, 10)
+	v := core.NewVerifier(c, core.Default())
+	fr := obs.NewFlightRecorder(0, 0) // defaults
+	cr := v.RunAll(context.Background(), core.Request{
+		Delta: v.Topological().Add(1), Workers: 4,
+		Tracer: flightCoreTracer{Tracer: obs.NewTracer(), c: c, fr: fr},
+	})
+	if int(fr.Recorded()) != len(cr.PerOutput) {
+		t.Fatalf("recorded %d checks, sweep ran %d", fr.Recorded(), len(cr.PerOutput))
+	}
+	snap := fr.Snapshot()
+	if len(snap.Slowest) == 0 {
+		t.Fatal("no slowest records after a full sweep")
+	}
+	names := map[string]bool{}
+	for _, po := range c.PrimaryOutputs() {
+		names[c.Net(po).Name] = true
+	}
+	for _, rec := range snap.Slowest {
+		if !names[rec.Sink] {
+			t.Errorf("slowest record names %q, not a primary output", rec.Sink)
+		}
+		if rec.Verdict == "" {
+			t.Errorf("slowest record for %q has no verdict", rec.Sink)
+		}
+	}
+}
+
+// BenchmarkFlightRecorderRecord measures the always-on fast path —
+// the per-check overhead every production check pays. The elapsed
+// values cycle below the slow threshold once the heap fills, so this
+// times the common case: fetch-add, pointer store, threshold load.
+func BenchmarkFlightRecorderRecord(b *testing.B) {
+	fr := obs.NewFlightRecorder(256, 32)
+	// Saturate the slow heap so the fast path's threshold check fails.
+	for i := 0; i < 64; i++ {
+		fr.Record(&obs.CheckRecord{ElapsedUs: 1 << 40})
+	}
+	rec := &obs.CheckRecord{Sink: "G0", ElapsedUs: 100}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			fr.Record(rec)
+		}
+	})
+}

@@ -14,10 +14,11 @@ import (
 // observations v <= bounds[i], and one implicit overflow bucket
 // counts everything above the last bound.
 type Histogram struct {
-	bounds []int64 // ascending upper bounds; immutable after New
-	counts []atomic.Uint64
-	sum    atomic.Int64
-	total  atomic.Uint64
+	bounds    []int64 // ascending upper bounds; immutable after New
+	counts    []atomic.Uint64
+	sum       atomic.Int64
+	total     atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // one slot per bucket, overflow included
 }
 
 // NewHistogram builds a histogram over the given ascending upper
@@ -29,7 +30,11 @@ func NewHistogram(bounds []int64) *Histogram {
 				i, bounds[i], bounds[i-1]))
 		}
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // ExpBuckets returns log-spaced upper bounds from lo to at least hi
@@ -54,10 +59,9 @@ func ExpBuckets(lo, hi int64, perDecade int) []int64 {
 	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v int64) {
-	// Binary search for the first bound >= v; the overflow bucket is
-	// len(bounds).
+// bucketFor returns the index of the bucket counting v: the first
+// bound >= v, or the overflow bucket len(bounds).
+func (h *Histogram) bucketFor(v int64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -67,7 +71,13 @@ func (h *Histogram) Observe(v int64) {
 			hi = mid
 		}
 	}
-	h.counts[lo].Add(1)
+	return lo
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	b := h.bucketFor(v)
+	h.counts[b].Add(1)
 	h.sum.Add(v)
 	h.total.Add(1)
 }
@@ -83,6 +93,56 @@ func (h *Histogram) ObserveDuration(ns int64) {
 
 // Bounds returns the histogram's upper bounds (shared, do not mutate).
 func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Exemplar links one observed value to the trace that produced it, so
+// a latency bucket (say, the p99 one) resolves to a retrievable trace
+// id instead of an anonymous count.
+type Exemplar struct {
+	// Value is the observed value in the histogram's native unit.
+	Value int64 `json:"value"`
+	// TraceID is the distributed trace id of the producing check.
+	TraceID string `json:"traceId"`
+}
+
+// SetExemplar stores v's trace id as the exemplar of the bucket that
+// counts v, replacing any previous exemplar there (last write wins).
+// It does NOT count the value — callers Observe separately — so the
+// cost is one atomic pointer store and exemplars never skew counts.
+// The in-repo Prometheus exposition deliberately excludes exemplars
+// (ParseProm rejects the OpenMetrics syntax); they are served through
+// the /debug/checks JSON instead.
+func (h *Histogram) SetExemplar(v int64, traceID string) {
+	if traceID == "" {
+		return
+	}
+	h.exemplars[h.bucketFor(v)].Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
+// BucketExemplar is one bucket's exemplar in a snapshot: LE renders
+// the bucket's upper bound ("+Inf" for the overflow bucket).
+type BucketExemplar struct {
+	LE      string `json:"le"`
+	Value   int64  `json:"value"`
+	TraceID string `json:"traceId"`
+}
+
+// Exemplars snapshots the buckets that currently hold an exemplar, in
+// bucket order.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	var out []BucketExemplar
+	for i := range h.exemplars {
+		e := h.exemplars[i].Load()
+		if e == nil {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmt.Sprintf("%d", h.bounds[i])
+		}
+		out = append(out, BucketExemplar{LE: le, Value: e.Value, TraceID: e.TraceID})
+	}
+	return out
+}
 
 // Snapshot captures the histogram's current state. Under concurrent
 // observation the per-bucket reads are individually atomic but not

@@ -140,6 +140,48 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 	return c
 }
 
+// CounterVec is a family of counters distinguished by the value of one
+// label, with series created lazily the first time a value is seen —
+// the fit for labels whose values are discovered at runtime (requeue
+// reasons, attempt numbers) rather than enumerable up front. The
+// family's HELP/TYPE block is registered eagerly, so an unused vector
+// still appears (empty) in the exposition.
+type CounterVec struct {
+	r          *Registry
+	name, help string
+	key        string
+
+	mu sync.Mutex
+	by map[string]*Counter // guarded by mu
+}
+
+// CounterVec registers a lazily-populated labeled counter family. The
+// label key must be a valid metric-name-shaped identifier (the same
+// grammar label names use in the exposition).
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	if !validMetricName(labelKey) {
+		panic(fmt.Sprintf("obs: invalid label key %q", labelKey))
+	}
+	r.mu.Lock()
+	r.familyFor(name, help, "counter") // reserve name + HELP/TYPE now
+	r.mu.Unlock()
+	return &CounterVec{r: r, name: name, help: help, key: labelKey, by: map[string]*Counter{}}
+}
+
+// With returns the counter for one label value, creating (and
+// registering) its series on first use. Safe for concurrent use;
+// the returned counter may be retained.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.by[value]
+	if c == nil {
+		c = v.r.Counter(v.name, v.help, Labels{v.key: value})
+		v.by[value] = c
+	}
+	return c
+}
+
 // GaugeFunc registers a gauge series read at scrape time.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
 	r.mu.Lock()

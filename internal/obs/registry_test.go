@@ -47,6 +47,65 @@ func TestRegistryExposition(t *testing.T) {
 	}
 }
 
+// TestCounterVec pins the lazily-labeled counter family: the
+// HELP/TYPE block appears even while the vector is empty, series
+// materialise on first With, the exposition stays ParseProm-valid
+// throughout, and With is stable (same value → same counter).
+func TestCounterVec(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("test_requeues_total", "Requeues by reason.", "reason")
+
+	render := func() string {
+		var buf bytes.Buffer
+		reg.WritePrometheus(&buf)
+		return buf.String()
+	}
+	empty := render()
+	if err := ValidateProm(strings.NewReader(empty)); err != nil {
+		t.Fatalf("empty vector exposition invalid: %v\n%s", err, empty)
+	}
+	if !strings.Contains(empty, "# TYPE test_requeues_total counter") {
+		t.Fatalf("empty vector has no TYPE block:\n%s", empty)
+	}
+
+	v.With("transport").Add(3)
+	v.With("backpressure").Inc()
+	if v.With("transport") != v.With("transport") {
+		t.Fatal("With is not stable for a repeated value")
+	}
+	v.With("transport").Inc()
+
+	text := render()
+	fams, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("populated vector exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`test_requeues_total{reason="transport"} 4`,
+		`test_requeues_total{reason="backpressure"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE test_requeues_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times for the vector family, want 1", n)
+	}
+	var fam *PromFamily
+	for i := range fams {
+		if fams[i].Name == "test_requeues_total" {
+			fam = &fams[i]
+		}
+	}
+	if fam == nil || len(fam.Samples) != 2 {
+		t.Fatalf("parsed family = %+v, want 2 labeled samples", fam)
+	}
+
+	mustPanic(t, "invalid label key", func() {
+		reg.CounterVec("test_other_total", "x", "9bad")
+	})
+}
+
 func TestRegistryRejectsConflicts(t *testing.T) {
 	reg := NewRegistry()
 	reg.CounterFunc("x_total", "a counter", nil, func() int64 { return 0 })

@@ -18,11 +18,13 @@ import (
 
 // TraceEvent is one Chrome trace_event record — the JSON schema
 // Perfetto and chrome://tracing load directly. Ph "B"/"E" bracket a
-// span, "M" carries metadata (thread names).
+// span, "X" is a complete span (Ts + Dur), "M" carries metadata
+// (process and thread names).
 type TraceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"` // microseconds since recorder start
+	Ts   float64        `json:"ts"`            // microseconds since recorder start
+	Dur  float64        `json:"dur,omitempty"` // microseconds; "X" events only
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
@@ -59,6 +61,21 @@ type SpanRecorder struct {
 	active map[uint64]int // goroutine id → lane
 	free   []int          // recycled lanes (min-heap by sort)
 	lanes  int            // lanes ever created
+	stamp  map[string]any // guarded by mu: args added to every check span
+}
+
+// Stamp merges args into every subsequent check span's args — the
+// lttad server stamps (trace id, batch, attempt) here so a per-batch
+// timeline is attributable to its distributed trace.
+func (r *SpanRecorder) Stamp(args map[string]any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stamp == nil {
+		r.stamp = map[string]any{}
+	}
+	for k, v := range args {
+		r.stamp[k] = v
+	}
 }
 
 // NewSpanRecorder returns an empty recorder. The circuit is optional;
@@ -109,9 +126,13 @@ func (r *SpanRecorder) CheckStart(sink circuit.NetID, delta waveform.Time) {
 	defer r.mu.Unlock()
 	lane := r.allocLane()
 	r.active[gid()] = lane
+	args := map[string]any{"sink": r.netName(sink), "delta": int64(delta)}
+	for k, v := range r.stamp {
+		args[k] = v
+	}
 	r.events = append(r.events, TraceEvent{
 		Name: "check " + r.netName(sink), Ph: "B", Ts: r.now(), Pid: 1, Tid: lane,
-		Args: map[string]any{"sink": r.netName(sink), "delta": int64(delta)},
+		Args: args,
 	})
 }
 
@@ -207,32 +228,35 @@ func (r *SpanRecorder) WriteTrace(w io.Writer) error {
 }
 
 // ValidateTrace parses trace_event JSON and checks the span
-// discipline this package promises: per lane, timestamps are
-// non-decreasing and B/E events nest properly with matching names
-// (every stage span closed inside its check span). Returns the event
+// discipline this package promises: per lane (pid, tid pair),
+// timestamps are non-decreasing, B/E events nest properly with
+// matching names (every stage span closed inside its check span), and
+// X complete spans carry a non-negative duration. Returns the event
 // count for smoke assertions.
 func ValidateTrace(rd io.Reader) (int, error) {
 	var tf traceFile
 	if err := json.NewDecoder(rd).Decode(&tf); err != nil {
 		return 0, fmt.Errorf("obs: trace JSON: %w", err)
 	}
+	type laneKey struct{ pid, tid int }
 	type laneState struct {
 		ts    float64
 		stack []string
 	}
-	lanes := map[int]*laneState{}
+	lanes := map[laneKey]*laneState{}
 	for i, ev := range tf.TraceEvents {
 		if ev.Ph == "M" {
 			continue
 		}
-		ls := lanes[ev.Tid]
+		key := laneKey{ev.Pid, ev.Tid}
+		ls := lanes[key]
 		if ls == nil {
 			ls = &laneState{}
-			lanes[ev.Tid] = ls
+			lanes[key] = ls
 		}
 		if ev.Ts < ls.ts {
-			return 0, fmt.Errorf("obs: trace event %d: ts %.3f before %.3f on lane %d",
-				i, ev.Ts, ls.ts, ev.Tid)
+			return 0, fmt.Errorf("obs: trace event %d: ts %.3f before %.3f on lane %d/%d",
+				i, ev.Ts, ls.ts, ev.Pid, ev.Tid)
 		}
 		ls.ts = ev.Ts
 		switch ev.Ph {
@@ -240,21 +264,25 @@ func ValidateTrace(rd io.Reader) (int, error) {
 			ls.stack = append(ls.stack, ev.Name)
 		case "E":
 			if len(ls.stack) == 0 {
-				return 0, fmt.Errorf("obs: trace event %d: E %q on empty lane %d", i, ev.Name, ev.Tid)
+				return 0, fmt.Errorf("obs: trace event %d: E %q on empty lane %d/%d", i, ev.Name, ev.Pid, ev.Tid)
 			}
 			top := ls.stack[len(ls.stack)-1]
 			if top != ev.Name {
-				return 0, fmt.Errorf("obs: trace event %d: E %q does not close B %q on lane %d",
-					i, ev.Name, top, ev.Tid)
+				return 0, fmt.Errorf("obs: trace event %d: E %q does not close B %q on lane %d/%d",
+					i, ev.Name, top, ev.Pid, ev.Tid)
 			}
 			ls.stack = ls.stack[:len(ls.stack)-1]
+		case "X":
+			if ev.Dur < 0 {
+				return 0, fmt.Errorf("obs: trace event %d: X %q with negative dur %.3f", i, ev.Name, ev.Dur)
+			}
 		default:
 			return 0, fmt.Errorf("obs: trace event %d: unknown phase %q", i, ev.Ph)
 		}
 	}
-	for tid, ls := range lanes {
+	for key, ls := range lanes {
 		if len(ls.stack) > 0 {
-			return 0, fmt.Errorf("obs: lane %d left %d spans open (%v)", tid, len(ls.stack), ls.stack)
+			return 0, fmt.Errorf("obs: lane %d/%d left %d spans open (%v)", key.pid, key.tid, len(ls.stack), ls.stack)
 		}
 	}
 	return len(tf.TraceEvents), nil

@@ -86,7 +86,9 @@ func TestValidateTraceRejects(t *testing.T) {
 		"unclosed span": `{"traceEvents":[
 			{"name":"a","ph":"B","ts":1,"pid":1,"tid":1}]}`,
 		"unknown phase": `{"traceEvents":[
-			{"name":"a","ph":"X","ts":1,"pid":1,"tid":1}]}`,
+			{"name":"a","ph":"Q","ts":1,"pid":1,"tid":1}]}`,
+		"negative X duration": `{"traceEvents":[
+			{"name":"a","ph":"X","ts":1,"dur":-2,"pid":1,"tid":1}]}`,
 		"not JSON": `]`,
 	}
 	for name, text := range cases {

@@ -31,9 +31,10 @@ type batch struct {
 	opts    core.Options
 	budgets core.Budgets
 
-	id  int64
-	log *slog.Logger      // request-scoped: carries the batch id
-	rec *obs.SpanRecorder // per-batch timeline when Config.TraceDir is set
+	id    int64
+	log   *slog.Logger      // request-scoped: carries the batch id and trace id
+	rec   *obs.SpanRecorder // per-batch timeline when Config.TraceDir is set
+	trace *api.TraceContext // completed trace context (id always set)
 
 	checkTimeout time.Duration
 
@@ -42,16 +43,22 @@ type batch struct {
 }
 
 // emitter serialises streamed events; nil for buffered responses.
-// Events from pool workers interleave, so emission is locked.
+// Events from pool workers interleave, so emission is locked. Every
+// emitted event echoes the batch's trace id (unless the producer
+// already stamped one).
 type emitter struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	fl  http.Flusher
+	mu      sync.Mutex
+	enc     *json.Encoder
+	fl      http.Flusher
+	traceID string
 }
 
 func (e *emitter) emit(ev Event) {
 	if e == nil {
 		return
+	}
+	if ev.TraceID == "" {
+		ev.TraceID = e.traceID
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -64,7 +71,7 @@ func (e *emitter) emit(ev Event) {
 // stream runs the batch and writes NDJSON events as results land.
 func (b *batch) stream(ctx context.Context, w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	em := &emitter{enc: json.NewEncoder(w)}
+	em := &emitter{enc: json.NewEncoder(w), traceID: b.trace.TraceID}
 	if fl, ok := w.(http.Flusher); ok {
 		em.fl = fl
 	}
@@ -77,7 +84,8 @@ func (b *batch) stream(ctx context.Context, w http.ResponseWriter) {
 // record is additionally emitted as it becomes available.
 func (b *batch) run(ctx context.Context, em *emitter) *Response {
 	start := time.Now()
-	resp := &Response{V: api.Version, Circuit: circuitInfo(b.c, batchSize(b.c, b.req, b.checks))}
+	resp := &Response{V: api.Version, Circuit: circuitInfo(b.c, batchSize(b.c, b.req, b.checks)),
+		TraceID: b.trace.TraceID}
 	em.emit(Event{Type: "circuit", Circuit: &resp.Circuit})
 
 	prep := b.prep
@@ -152,6 +160,89 @@ func (b *batch) runOne(ctx context.Context, v *core.Verifier, req core.Request) 
 	return rep, panicMsg
 }
 
+// emitCheck finalises one terminal check: it converts the report on
+// the wire, stamps the distributed-trace fields, feeds the always-on
+// flight recorder and the latency exemplar, and emits the "check"
+// event — plus an in-band span summary when the submitter asked for
+// tracing (req.Trace set). Trace stamping lives here, at the emission
+// layer, so ResultFromReport stays a pure verdict conversion.
+func (b *batch) emitCheck(em *emitter, i int, rep *core.Report, panicMsg string) CheckResult {
+	res := ResultFromReport(b.c, i, rep)
+	res.Error = panicMsg
+	b.stampTrace(&res, rep)
+	b.recordFlight(&res)
+	em.emit(Event{Type: "check", Check: &res})
+	if b.req.Trace != nil {
+		em.emit(Event{Type: "spans", Spans: b.spanSummary(&res), TraceID: res.TraceID})
+	}
+	return res
+}
+
+// stampTrace attributes a terminal result to the batch's trace: a
+// fresh span id, the wall-clock start (reconstructed for checks that
+// never reached the engine), and per-stage durations in pipeline
+// order. Zero stage time (cancelled before any stage ran) leaves
+// StageUs nil.
+func (b *batch) stampTrace(res *CheckResult, rep *core.Report) {
+	res.TraceID = b.trace.TraceID
+	res.SpanID = api.NewSpanID()
+	started := rep.Started
+	if started.IsZero() { // cancelled or panicked before the engine stamped it
+		started = time.Now().Add(-rep.Elapsed)
+	}
+	res.StartUnixUs = started.UnixMicro()
+	var total time.Duration
+	for _, d := range rep.Stats.StageTime {
+		total += d
+	}
+	if total > 0 {
+		res.StageUs = make([]int64, core.NumStages)
+		for st, d := range rep.Stats.StageTime {
+			res.StageUs[st] = d.Microseconds()
+		}
+	}
+}
+
+// recordFlight stores the check in the server's flight recorder and
+// pins it as the exemplar of its latency-histogram bucket.
+func (b *batch) recordFlight(res *CheckResult) {
+	rec := &obs.CheckRecord{
+		TraceID: res.TraceID, SpanID: res.SpanID, Tenant: b.trace.Tenant,
+		Batch: b.id, Sink: res.Sink, Delta: res.Delta,
+		Verdict: res.Final, Error: res.Error,
+		StartUnixUs: res.StartUnixUs, ElapsedUs: res.ElapsedUs, StageUs: res.StageUs,
+		Propagations: res.Propagations, Backtracks: res.Backtracks,
+	}
+	if sh := b.req.Shard; sh != nil {
+		rec.Worker, rec.Attempt, rec.Hedge = sh.Worker, sh.Attempt, sh.Hedge
+	}
+	b.srv.flight.Record(rec)
+	b.srv.eng.CheckSeconds.SetExemplar(res.ElapsedUs*1000, res.TraceID)
+}
+
+// spanSummary packages a check's timings as the in-band span tree a
+// coordinator folds into its cluster timeline: the check span plus
+// stage sub-spans laid end to end from the check start.
+func (b *batch) spanSummary(res *CheckResult) *api.SpanSummary {
+	sum := &api.SpanSummary{
+		Index: res.Index, TraceID: res.TraceID, SpanID: res.SpanID,
+		Sink: res.Sink, Delta: res.Delta,
+		StartUnixUs: res.StartUnixUs, DurUs: res.ElapsedUs, Verdict: res.Final,
+	}
+	if sh := b.req.Shard; sh != nil {
+		sum.Worker, sum.Attempt = sh.Worker, sh.Attempt
+	}
+	var off int64
+	for st, us := range res.StageUs {
+		if us <= 0 {
+			continue
+		}
+		sum.Spans = append(sum.Spans, api.Span{Name: core.Stage(st).String(), StartUs: off, DurUs: us})
+		off += us
+	}
+	return sum
+}
+
 // baseRequest builds the core request template shared by the batch's
 // checks: budgets, and the per-check deadline if any timeout applies.
 func (b *batch) baseRequest() core.Request {
@@ -182,10 +273,7 @@ func (b *batch) runChecks(ctx context.Context, v *core.Verifier, em *emitter) []
 		run := func() {
 			defer wg.Done()
 			rep, panicMsg := b.runOne(ctx, v, b.withDeadline(req))
-			res := ResultFromReport(b.c, i, rep)
-			res.Error = panicMsg
-			results[i] = res
-			em.emit(Event{Type: "check", Check: &res})
+			results[i] = b.emitCheck(em, i, rep, panicMsg)
 		}
 		if !b.srv.submit(ctx, run) {
 			// Context over before a worker freed up: report the check as
@@ -193,10 +281,7 @@ func (b *batch) runChecks(ctx context.Context, v *core.Verifier, em *emitter) []
 			// context returns Cancelled immediately; this is the same
 			// answer without the queue round trip).
 			wg.Done()
-			rep := cancelledReport(rc.sink, rc.delta)
-			res := ResultFromReport(b.c, i, rep)
-			results[i] = res
-			em.emit(Event{Type: "check", Check: &res})
+			results[i] = b.emitCheck(em, i, cancelledReport(rc.sink, rc.delta), "")
 		}
 	}
 	wg.Wait()
@@ -224,6 +309,7 @@ func cancelledReport(sink circuit.NetID, delta waveform.Time) *core.Report {
 func (b *batch) runSweep(ctx context.Context, v *core.Verifier, delta waveform.Time, em *emitter) SweepResult {
 	pos := v.Circuit().PrimaryOutputs()
 	reports := make([]*core.Report, len(pos))
+	results := make([]CheckResult, len(pos))
 	var wg sync.WaitGroup
 	for i, po := range pos {
 		i, po := i, po
@@ -234,20 +320,23 @@ func (b *batch) runSweep(ctx context.Context, v *core.Verifier, delta waveform.T
 			defer wg.Done()
 			rep, panicMsg := b.runOne(ctx, v, b.withDeadline(req))
 			reports[i] = rep
-			res := ResultFromReport(b.c, i, rep)
-			res.Error = panicMsg
-			em.emit(Event{Type: "check", Check: &res})
+			results[i] = b.emitCheck(em, i, rep, panicMsg)
 		}
 		if !b.srv.submit(ctx, run) {
 			wg.Done()
 			reports[i] = cancelledReport(po, delta)
-			res := ResultFromReport(b.c, i, reports[i])
-			em.emit(Event{Type: "check", Check: &res})
+			results[i] = b.emitCheck(em, i, reports[i], "")
 		}
 	}
 	wg.Wait()
 	b.checksRun += len(pos)
-	return SweepFromReport(b.c, core.AggregateCircuit(delta, reports))
+	// The aggregate is rebuilt from the raw reports, but the per-output
+	// entries keep the emitted results so the trace attribution (and
+	// any panic message) stamped at emission survives into the JSON
+	// document — document and stream clients see the same results.
+	sw := SweepFromReport(b.c, core.AggregateCircuit(delta, reports))
+	sw.PerOutput = results
+	return sw
 }
 
 // runSweepFirstWins reproduces core.RunAll's protocol over the shared
@@ -298,9 +387,7 @@ func (b *batch) runSweepFirstWins(ctx context.Context, v *core.Verifier, delta w
 			mu.Unlock()
 			b.countCheck()
 			if keep {
-				res := ResultFromReport(b.c, i, rep)
-				res.Error = panicMsg
-				em.emit(Event{Type: "check", Check: &res})
+				b.emitCheck(em, i, rep, panicMsg)
 			}
 		}
 		if !b.srv.submit(ctx, run) {
@@ -311,8 +398,7 @@ func (b *batch) runSweepFirstWins(ctx context.Context, v *core.Verifier, delta w
 			mu.Unlock()
 			b.countCheck()
 			if keep {
-				res := ResultFromReport(b.c, i, reports[i])
-				em.emit(Event{Type: "check", Check: &res})
+				b.emitCheck(em, i, reports[i], "")
 			}
 		}
 	}

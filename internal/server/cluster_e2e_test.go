@@ -519,6 +519,12 @@ func TestClusterDifferential(t *testing.T) {
 			}
 			zeroResponseClocks(coordTable)
 			zeroResponseClocks(singleTable)
+			// Table1's first-witness-wins sweeps cancel the losers, so
+			// whether a check on a later output started before the
+			// witness landed is a scheduling race — the checks-run tally
+			// is legitimately nondeterministic on this path (rows,
+			// sweeps, and witnesses are not).
+			coordTable.Done.ChecksRun, singleTable.Done.ChecksRun = 0, 0
 			if !reflect.DeepEqual(coordTable.Rows, wantRows) {
 				t.Errorf("coordinator rows diverge from harness:\n got %+v\nwant %+v", coordTable.Rows, wantRows)
 			}

@@ -56,6 +56,14 @@ type CoordConfig struct {
 	// Name is the instance name stamped into ShardInfo envelopes
 	// (default "lttad-coord").
 	Name string
+	// TraceDir, when set, writes one Perfetto-loadable cluster timeline
+	// per batch (batch-<id>.trace.json): routing decisions, per-attempt
+	// worker dispatches, the workers' in-band check spans, and merge
+	// lanes, all under the batch's trace id.
+	TraceDir string
+	// FlightLast and FlightSlowest size the always-on flight recorder
+	// behind GET /debug/checks (defaults 256 and 32).
+	FlightLast, FlightSlowest int
 	// Logger receives the coordinator's structured logs (default:
 	// discard).
 	Logger *slog.Logger
@@ -132,6 +140,11 @@ type Coordinator struct {
 	log      *slog.Logger
 	batchSeq atomic.Int64
 	reg      *obs.Registry
+
+	flight       *obs.FlightRecorder // always-on merged-check record behind /debug/checks
+	checkSeconds *obs.Histogram      // merged terminal results, worker-reported latency
+	requeues     *obs.CounterVec     // lttad_coord_requeues_total by reason
+	hedges       *obs.CounterVec     // lttad_coord_hedges_total by attempt
 
 	mu       sync.Mutex
 	circuits map[api.Hash]*coordEntry // guarded by mu
@@ -215,6 +228,8 @@ func NewCoordinator(cfg CoordConfig) *Coordinator {
 	co.baseCtx, co.baseCancel = context.WithCancel(context.Background())
 	co.log = cfg.Logger
 	co.reg = obs.NewRegistry()
+	co.flight = obs.NewFlightRecorder(cfg.FlightLast, cfg.FlightSlowest)
+	co.checkSeconds = obs.NewHistogram(obs.ExpBuckets(1_000, 100_000_000_000, 5))
 	for _, addr := range co.pool.Addrs() {
 		w := &coordWorker{addr: addr, cl: co.pool.For(addr), uploaded: make(map[api.Hash]bool)}
 		co.workers = append(co.workers, w)
@@ -228,6 +243,7 @@ func NewCoordinator(cfg CoordConfig) *Coordinator {
 	co.mux.HandleFunc("/readyz", co.handleReadyz)
 	co.mux.HandleFunc("/metrics", co.handleMetricsProm)
 	co.mux.HandleFunc("/metrics.json", co.handleMetricsJSON)
+	co.mux.HandleFunc("GET /debug/checks", co.handleDebugChecks)
 
 	probeCtx, stop := context.WithCancel(co.baseCtx)
 	co.probeStop = stop
@@ -628,9 +644,17 @@ func (co *Coordinator) admitAndRun(w http.ResponseWriter, r *http.Request, req *
 	}
 
 	id := co.batchSeq.Add(1)
+	trace := api.EnsureTrace(req.Trace)
+	logger := co.log.With(slog.Int64("batch", id), slog.String("trace_id", trace.TraceID))
+	if trace.Tenant != "" {
+		logger = logger.With(slog.String("tenant", trace.Tenant))
+	}
 	cb := &coordBatch{
 		co: co, entry: entry, req: req, checks: checks, id: id,
-		log: co.log.With(slog.Int64("batch", id)),
+		log: logger, trace: trace, clientTraced: req.Trace != nil,
+	}
+	if co.cfg.TraceDir != "" {
+		cb.ct = obs.NewClusterTrace(time.Now())
 	}
 	cb.log.LogAttrs(ctx, slog.LevelInfo, "batch accepted",
 		slog.String("circuit", entry.c.Name), slog.String("hash", string(entry.hash)),
@@ -638,7 +662,7 @@ func (co *Coordinator) admitAndRun(w http.ResponseWriter, r *http.Request, req *
 	if req.Stream {
 		co.streams.Add(1)
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		em := &emitter{enc: json.NewEncoder(w)}
+		em := &emitter{enc: json.NewEncoder(w), traceID: trace.TraceID}
 		if fl, ok := w.(http.Flusher); ok {
 			em.fl = fl
 		}
@@ -718,6 +742,13 @@ func (co *Coordinator) registerCoordMetrics() {
 		"Checks requeued off a failed worker onto survivors.", nil, co.requeuedChecks.Load)
 	co.reg.CounterFunc("lttad_coord_hedged_checks_total",
 		"Straggler checks hedged onto a second worker.", nil, co.hedgedChecks.Load)
+	co.requeues = co.reg.CounterVec("lttad_coord_requeues_total",
+		"Checks requeued, by why the previous dispatch failed.", "reason")
+	co.hedges = co.reg.CounterVec("lttad_coord_hedges_total",
+		"Straggler checks hedged, by the dispatch attempt the hedge became.", "attempt")
+	co.reg.Histogram("lttad_coord_check_duration_seconds",
+		"Worker-reported latency of terminal check results merged by this coordinator.",
+		nil, co.checkSeconds, 1e-9)
 	co.reg.CounterFunc("lttad_coord_duplicate_results_dropped_total",
 		"Worker results dropped because the check already had its terminal result.",
 		nil, co.duplicatesDropped.Load)
@@ -739,6 +770,13 @@ func (co *Coordinator) handleMetricsProm(w http.ResponseWriter, _ *http.Request)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	co.reg.WritePrometheus(w)
 	obs.WriteRuntimeProm(w)
+}
+
+// handleDebugChecks is GET /debug/checks on the coordinator: the
+// merged-result flight recorder plus the merge-latency exemplars, the
+// cluster-level half of the introspection a worker's endpoint serves.
+func (co *Coordinator) handleDebugChecks(w http.ResponseWriter, _ *http.Request) {
+	writeDebugChecks(w, co.flight, co.checkSeconds.Exemplars())
 }
 
 // handleMetricsJSON mirrors the same counters as a structured

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +16,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/waveform"
 )
 
@@ -41,6 +45,15 @@ type coordBatch struct {
 
 	id  int64
 	log *slog.Logger
+
+	// trace is the batch's completed trace context (id always set; the
+	// coordinator is the admitting tier when the client sent none).
+	// clientTraced records whether the client itself asked for tracing —
+	// worker span summaries are forwarded downstream only then, though
+	// the coordinator always collects them for its own timeline.
+	trace        *api.TraceContext
+	clientTraced bool
+	ct           *obs.ClusterTrace // cluster timeline when CoordConfig.TraceDir is set
 
 	ctx    context.Context // the batch context; checked by the C-requeue rule
 	em     *emitter
@@ -97,7 +110,8 @@ func (u *coordUnit) tried(addr string) bool {
 func (cb *coordBatch) run(ctx context.Context, em *emitter) *Response {
 	start := time.Now()
 	c := cb.entry.c
-	resp := &Response{V: api.Version, Circuit: circuitInfo(c, batchSize(c, cb.req, cb.checks))}
+	resp := &Response{V: api.Version, Circuit: circuitInfo(c, batchSize(c, cb.req, cb.checks)),
+		TraceID: cb.trace.TraceID}
 	em.emit(Event{Type: "circuit", Circuit: &resp.Circuit})
 
 	if cb.req.Sweep != nil && cb.req.Sweep.Table1 {
@@ -108,6 +122,7 @@ func (cb *coordBatch) run(ctx context.Context, em *emitter) *Response {
 		cb.mu.Unlock()
 		resp.Done = DoneInfo{ChecksRun: n, ElapsedUs: time.Since(start).Microseconds()}
 		cb.logDone(ctx, start)
+		cb.writeClusterTrace(ctx, start)
 		return resp
 	}
 
@@ -170,7 +185,34 @@ func (cb *coordBatch) run(ctx context.Context, em *emitter) *Response {
 	cb.mu.Unlock()
 	resp.Done = DoneInfo{ChecksRun: n, ElapsedUs: time.Since(start).Microseconds()}
 	cb.logDone(ctx, start)
+	cb.writeClusterTrace(ctx, start)
 	return resp
+}
+
+// writeClusterTrace closes the batch's root span and dumps the cluster
+// timeline to TraceDir/batch-<id>.trace.json.
+func (cb *coordBatch) writeClusterTrace(ctx context.Context, start time.Time) {
+	if cb.ct == nil {
+		return
+	}
+	cb.ct.Span("coordinator", "batch "+strconv.FormatInt(cb.id, 10),
+		start.UnixMicro(), time.Since(start).Microseconds(),
+		map[string]any{"trace_id": cb.trace.TraceID, "circuit": cb.entry.c.Name})
+	path := filepath.Join(cb.co.cfg.TraceDir, "batch-"+strconv.FormatInt(cb.id, 10)+".trace.json")
+	f, err := os.Create(path)
+	if err == nil {
+		err = cb.ct.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		cb.log.LogAttrs(ctx, slog.LevelWarn, "cluster trace write failed",
+			slog.String("path", path), slog.String("error", err.Error()))
+		return
+	}
+	cb.log.LogAttrs(ctx, slog.LevelInfo, "cluster trace written",
+		slog.String("path", path), slog.Int("events", cb.ct.Len()))
 }
 
 func (cb *coordBatch) logDone(ctx context.Context, start time.Time) {
@@ -276,7 +318,17 @@ func (cb *coordBatch) launch(ctx context.Context, addr string, units []*coordUni
 // marks the worker dead for the probe loop to resurrect.
 func (cb *coordBatch) dispatchShard(ctx context.Context, w *coordWorker, units []*coordUnit, kind string) {
 	defer cb.wg.Done()
+	dstart := time.Now()
 	err := cb.streamShard(ctx, w, units, kind)
+	if cb.ct != nil {
+		args := map[string]any{"trace_id": cb.trace.TraceID, "worker": w.addr,
+			"kind": kind, "checks": len(units)}
+		if err != nil {
+			args["error"] = err.Error()
+		}
+		cb.ct.Span("coordinator", "dispatch "+w.addr+" ("+kind+")",
+			dstart.UnixMicro(), time.Since(dstart).Microseconds(), args)
+	}
 	var stranded []*coordUnit
 	cb.mu.Lock()
 	for _, u := range units {
@@ -318,10 +370,17 @@ func (cb *coordBatch) streamShard(ctx context.Context, w *coordWorker, units []*
 				Coordinator: cb.co.cfg.Name, Batch: cb.id, Worker: w.addr,
 				Attempt: attempt, Hedge: kind == "hedge",
 			},
+			// The worker joins the coordinator's trace (and answers with
+			// in-band span summaries); ParentSpan identifies this dispatch.
+			Trace: &api.TraceContext{TraceID: cb.trace.TraceID,
+				ParentSpan: api.NewSpanID(), Tenant: cb.trace.Tenant},
 		}
 		err := w.cl.StreamByHash(ctx, cb.entry.hash, req, func(ev Event) error {
-			if ev.Type == "check" && ev.Check != nil {
+			switch {
+			case ev.Type == "check" && ev.Check != nil:
 				cb.deliver(units, ev.Check, w.addr)
+			case ev.Type == "spans" && ev.Spans != nil:
+				cb.workerSpans(units, ev.Spans, w.addr)
 			}
 			return nil
 		})
@@ -333,6 +392,30 @@ func (cb *coordBatch) streamShard(ctx context.Context, w *coordWorker, units []*
 		return err
 	}
 	return fmt.Errorf("worker %s keeps answering unknown_hash for %s", w.addr, cb.entry.hash)
+}
+
+// workerSpans folds one worker's in-band span summary into the
+// cluster timeline (one lane group per worker, so per-attempt overlap
+// stays visible), and forwards it — re-indexed to the client-facing
+// check position — when the client itself asked for tracing.
+func (cb *coordBatch) workerSpans(shard []*coordUnit, sum *api.SpanSummary, worker string) {
+	if sum.Index < 0 || sum.Index >= len(shard) {
+		return
+	}
+	u := shard[sum.Index]
+	if cb.ct != nil {
+		cb.ct.Span("worker "+worker, "check "+sum.Sink, sum.StartUnixUs, sum.DurUs,
+			map[string]any{"trace_id": sum.TraceID, "span_id": sum.SpanID,
+				"verdict": sum.Verdict, "attempt": sum.Attempt})
+	}
+	if cb.clientTraced {
+		fwd := *sum
+		fwd.Index = u.emitIndex // immutable after buildUnits; shard index → client index
+		if fwd.Worker == "" {
+			fwd.Worker = worker
+		}
+		cb.em.emit(Event{Type: "spans", Spans: &fwd, TraceID: sum.TraceID})
+	}
 }
 
 // deliver routes one worker result to its unit. It is the merge
@@ -368,10 +451,31 @@ func (cb *coordBatch) deliverLocked(u *coordUnit, res *CheckResult, worker strin
 	r.Index = u.emitIndex
 	r.Worker = worker
 	r.Attempt = u.attempts
+	if r.TraceID == "" { // synthetic results are minted here, not on a worker
+		r.TraceID = cb.trace.TraceID
+	}
+	if r.SpanID == "" {
+		r.SpanID = api.NewSpanID()
+	}
 	u.result = &r
 	u.delivered = true
 	cb.remaining--
 	cb.co.checksMerged.Add(1)
+	cb.co.flight.Record(&obs.CheckRecord{
+		TraceID: r.TraceID, SpanID: r.SpanID, Tenant: cb.trace.Tenant,
+		Batch: cb.id, Sink: r.Sink, Delta: r.Delta,
+		Verdict: r.Final, Error: r.Error,
+		Worker: worker, Attempt: u.attempts,
+		StartUnixUs: r.StartUnixUs, ElapsedUs: r.ElapsedUs, StageUs: r.StageUs,
+		Propagations: r.Propagations, Backtracks: r.Backtracks,
+	})
+	cb.co.checkSeconds.Observe(r.ElapsedUs * 1_000)
+	cb.co.checkSeconds.SetExemplar(r.ElapsedUs*1_000, r.TraceID)
+	if cb.ct != nil {
+		cb.ct.Span("merge", "merge "+r.Sink, time.Now().UnixMicro(), 0,
+			map[string]any{"trace_id": r.TraceID, "worker": worker,
+				"attempt": u.attempts, "verdict": r.Final})
+	}
 	cb.em.emit(Event{Type: "check", Check: &r})
 	if cb.remaining == 0 {
 		close(cb.doneCh)
@@ -452,6 +556,7 @@ func (cb *coordBatch) redispatch(ctx context.Context, units []*coordUnit, cause 
 	if len(retry) == 0 {
 		return
 	}
+	cb.co.requeues.With(requeueReason(cause)).Add(int64(len(retry)))
 
 	alive := cb.co.aliveWorkers(ctx)
 	if len(alive) == 0 {
@@ -491,6 +596,28 @@ func (cb *coordBatch) redispatch(ctx context.Context, units []*coordUnit, cause 
 	}
 }
 
+// requeueReason classifies why a dispatch left its units behind, for
+// the lttad_coord_requeues_total{reason=...} counter: "stranded" (the
+// stream ended cleanly without the unit's result — a hedge loser's cut
+// stream, or a worker that silently dropped it), "truncated_stream"
+// (the connection died mid-stream, the kill-a-worker path),
+// "backpressure" (the worker answered 429/503), "transport" for every
+// other transport-level failure.
+func requeueReason(cause error) string {
+	if cause == nil {
+		return "stranded"
+	}
+	var trunc *client.TruncatedStreamError
+	if errors.As(cause, &trunc) {
+		return "truncated_stream"
+	}
+	var ae *client.APIError
+	if errors.As(cause, &ae) && ae.Temporary() {
+		return "backpressure"
+	}
+	return "transport"
+}
+
 // hedgePass runs once, HedgeAfter into the batch: every unit still
 // racing its primary dispatch is additionally dispatched to the
 // highest-ranked live worker it has not tried, and the first terminal
@@ -506,6 +633,7 @@ func (cb *coordBatch) hedgePass(ctx context.Context) {
 	}
 	router := NewShardRouter(alive)
 	groups := make(map[string][]*coordUnit)
+	byAttempt := make(map[int]int64) // dispatch attempt the hedge becomes → checks
 	hedged := 0
 	cb.mu.Lock()
 	for _, u := range cb.units {
@@ -523,6 +651,7 @@ func (cb *coordBatch) hedgePass(ctx context.Context) {
 			continue
 		}
 		groups[target] = append(groups[target], u)
+		byAttempt[u.attempts+1]++ // launch will bump attempts to this
 		hedged++
 	}
 	cb.mu.Unlock()
@@ -530,6 +659,9 @@ func (cb *coordBatch) hedgePass(ctx context.Context) {
 		return
 	}
 	cb.co.hedgedChecks.Add(int64(hedged))
+	for attempt, n := range byAttempt {
+		cb.co.hedges.With(strconv.Itoa(attempt)).Add(n)
+	}
 	addrs := make([]string, 0, len(groups))
 	for addr := range groups {
 		addrs = append(addrs, addr)
@@ -570,6 +702,19 @@ func (cb *coordBatch) assembleSweeps(resp *Response, em *emitter) {
 			reports[pi] = rep
 		}
 		sw := SweepFromReport(c, core.AggregateCircuit(waveform.Time(d), reports))
+		// Report conversion never carries trace attribution or placement
+		// (stamped at emission, not derivable from a core.Report), so
+		// copy those from the delivered results into the per-output
+		// entries — document clients see the same attribution stream
+		// clients saw on the check events.
+		for pi := 0; pi < npos && pi < len(sw.PerOutput); pi++ {
+			if res := cb.units[di*npos+pi].result; res != nil {
+				po := &sw.PerOutput[pi]
+				po.TraceID, po.SpanID = res.TraceID, res.SpanID
+				po.StartUnixUs, po.StageUs = res.StartUnixUs, res.StageUs
+				po.Worker, po.Attempt = res.Worker, res.Attempt
+			}
+		}
 		resp.Sweeps = append(resp.Sweeps, sw)
 		em.emit(Event{Type: "sweep", Sweep: &sw})
 	}
@@ -594,7 +739,17 @@ func (cb *coordBatch) runTable1Forward(ctx context.Context, em *emitter, resp *R
 			break
 		}
 		w := cb.co.byAddr[addr]
+		fstart := time.Now()
 		wresp, err := cb.forwardTable1(ctx, w, attempt+1)
+		if cb.ct != nil {
+			args := map[string]any{"trace_id": cb.trace.TraceID, "worker": addr,
+				"kind": "table1", "attempt": attempt + 1}
+			if err != nil {
+				args["error"] = err.Error()
+			}
+			cb.ct.Span("coordinator", "forward "+addr+" (table1)",
+				fstart.UnixMicro(), time.Since(fstart).Microseconds(), args)
+		}
 		if err != nil {
 			lastErr = err
 			if ctx.Err() == nil && client.Retryable(err) {
@@ -641,6 +796,8 @@ func (cb *coordBatch) forwardTable1(ctx context.Context, w *coordWorker, attempt
 			Shard: &api.ShardInfo{
 				Coordinator: cb.co.cfg.Name, Batch: cb.id, Worker: w.addr, Attempt: attempt,
 			},
+			Trace: &api.TraceContext{TraceID: cb.trace.TraceID,
+				ParentSpan: api.NewSpanID(), Tenant: cb.trace.Tenant},
 		}
 		wresp, err := w.cl.CheckByHash(ctx, cb.entry.hash, req)
 		var ae *client.APIError

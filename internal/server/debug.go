@@ -1,0 +1,34 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// debugChecksBody is the GET /debug/checks response: the flight
+// recorder's snapshot plus the trace-id exemplars pinned on the check
+// latency histogram (one per occupied bucket). Served identically by
+// plain daemons and coordinators, so a cluster operator can chase one
+// trace id from the coordinator's merge records into the worker that
+// ran the slow check.
+type debugChecksBody struct {
+	obs.FlightSnapshot
+	LatencyExemplars []obs.BucketExemplar `json:"latencyExemplars,omitempty"`
+}
+
+// writeDebugChecks renders one tier's flight recorder as JSON.
+func writeDebugChecks(w http.ResponseWriter, fr *obs.FlightRecorder, exemplars []obs.BucketExemplar) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(debugChecksBody{
+		FlightSnapshot:   fr.Snapshot(),
+		LatencyExemplars: exemplars,
+	})
+}
+
+func (s *Server) handleDebugChecks(w http.ResponseWriter, r *http.Request) {
+	writeDebugChecks(w, s.flight, s.eng.CheckSeconds.Exemplars())
+}

@@ -41,9 +41,7 @@ func zeroRowClocks(rows []server.Row) {
 
 func zeroSweepClocks(sweeps []server.SweepResult) {
 	for i := range sweeps {
-		for j := range sweeps[i].PerOutput {
-			sweeps[i].PerOutput[j].ElapsedUs = 0
-		}
+		zeroResultClocks(sweeps[i].PerOutput)
 	}
 }
 
@@ -230,6 +228,9 @@ func TestE2EExplicitBatch(t *testing.T) {
 		want := server.ResultFromReport(local, i, rep)
 		g := got.Results[i]
 		g.ElapsedUs, want.ElapsedUs = 0, 0
+		// The reference result comes straight from ResultFromReport, which
+		// never stamps trace attribution; strip the server's.
+		g.TraceID, g.SpanID, g.StartUnixUs, g.StageUs = "", "", 0, nil
 		if !reflect.DeepEqual(g, want) {
 			t.Errorf("check %d (%s, %d):\n got %+v\nwant %+v", i, cs.Sink, cs.Delta, g, want)
 		}

@@ -32,11 +32,17 @@ func newRegistryTestServer(t *testing.T, cfg server.Config) (*client.Client, fun
 func zeroResultClocks(results []server.CheckResult) {
 	for i := range results {
 		results[i].ElapsedUs = 0
+		// Trace attribution is fresh per submission by design (span ids
+		// are random, starts are wall clock); differential comparisons
+		// care about verdicts and statistics only.
+		results[i].TraceID, results[i].SpanID = "", ""
+		results[i].StartUnixUs, results[i].StageUs = 0, nil
 	}
 }
 
 func zeroResponseClocks(resp *server.Response) {
 	resp.Done.ElapsedUs = 0
+	resp.TraceID = ""
 	zeroResultClocks(resp.Results)
 	zeroRowClocks(resp.Rows)
 	zeroSweepClocks(resp.Sweeps)

@@ -35,6 +35,15 @@ func reportFromResult(c *circuit.Circuit, res *CheckResult) (*core.Report, error
 	rep.Stats.QueueHighWater = res.QueueHighWater
 	rep.Stats.Decisions = res.Decisions
 	rep.Stats.StemSplits = res.StemSplits
+	// Trace anchors survive the round trip too, so a coordinator's
+	// flight records and timelines see the worker's wall clock; neither
+	// field enters sweep aggregation.
+	if res.StartUnixUs != 0 {
+		rep.Started = time.UnixMicro(res.StartUnixUs)
+	}
+	for st := 0; st < len(rep.Stats.StageTime) && st < len(res.StageUs); st++ {
+		rep.Stats.StageTime[st] = time.Duration(res.StageUs[st]) * time.Microsecond
+	}
 	for _, f := range []struct {
 		name string
 		dst  *core.Result

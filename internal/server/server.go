@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -49,6 +50,11 @@ type Config struct {
 	// TraceDir, when non-empty, writes a Chrome trace_event timeline
 	// per batch to TraceDir/batch-<id>.trace.json (Perfetto-loadable).
 	TraceDir string
+	// FlightLast and FlightSlowest size the always-on flight recorder
+	// behind GET /debug/checks: the last N completed checks and the K
+	// slowest (defaults 256 and 32).
+	FlightLast    int
+	FlightSlowest int
 	// RegistryMaxCircuits bounds the content-addressed circuit registry
 	// behind PUT /v1/circuits (default 128 circuits; LRU beyond).
 	RegistryMaxCircuits int
@@ -110,10 +116,11 @@ type Server struct {
 	log      *slog.Logger
 	batchSeq atomic.Int64 // batch ids for request-scoped log attrs
 
-	agg    core.StatsTracer // engine telemetry across all served checks
-	eng    *obs.Tracer      // histogram telemetry behind /metrics
-	reg    *obs.Registry    // the Prometheus exposition
-	tracer core.Tracer      // agg+eng chain stamped on every check
+	agg    core.StatsTracer    // engine telemetry across all served checks
+	eng    *obs.Tracer         // histogram telemetry behind /metrics
+	reg    *obs.Registry       // the Prometheus exposition
+	tracer core.Tracer         // agg+eng chain stamped on every check
+	flight *obs.FlightRecorder // always-on last-N/slowest-K record behind /debug/checks
 
 	registry *registry.Registry // content-addressed circuits + prepared-state cache
 
@@ -143,6 +150,7 @@ func New(cfg Config) *Server {
 	s.tracer = core.MultiTracer(&s.agg, s.eng)
 	s.reg = obs.NewRegistry()
 	s.eng.MustRegister(s.reg, "ltta")
+	s.flight = obs.NewFlightRecorder(cfg.FlightLast, cfg.FlightSlowest)
 	s.registry = registry.New(registry.Config{
 		MaxCircuits:      cfg.RegistryMaxCircuits,
 		MaxResidentBytes: cfg.RegistryMaxBytes,
@@ -155,6 +163,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetricsProm)
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("GET /debug/checks", s.handleDebugChecks)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workersWG.Add(1)
 		go s.worker()
@@ -436,13 +445,29 @@ func (s *Server) admitAndRun(w http.ResponseWriter, r *http.Request, req *Reques
 	}
 
 	id := s.batchSeq.Add(1)
+	// The admitting tier completes the trace context: an absent or
+	// malformed client trace gets a freshly minted id here, and every
+	// event, log line, and flight record of the batch carries it.
+	trace := api.EnsureTrace(req.Trace)
+	logger := s.log.With(slog.Int64("batch", id), slog.String("trace_id", trace.TraceID))
+	if trace.Tenant != "" {
+		logger = logger.With(slog.String("tenant", trace.Tenant))
+	}
+	if sh := req.Shard; sh != nil && sh.Attempt > 0 {
+		logger = logger.With(slog.Int("attempt", sh.Attempt))
+	}
 	b := &batch{srv: s, req: req, c: c, checks: checks, prep: prep, id: id,
-		log:  s.log.With(slog.Int64("batch", id)),
+		log: logger, trace: trace,
 		opts: engineOptions(req.Options), budgets: engineBudgets(req.Budgets),
 		checkTimeout: minTimeout(s.cfg.CheckTimeout, time.Duration(req.CheckTimeoutMs)*time.Millisecond),
 	}
 	if s.cfg.TraceDir != "" {
 		b.rec = obs.NewSpanRecorder(c)
+		stamp := map[string]any{"trace_id": trace.TraceID, "batch": id}
+		if sh := req.Shard; sh != nil {
+			stamp["attempt"] = sh.Attempt
+		}
+		b.rec.Stamp(stamp)
 	}
 	attrs := []slog.Attr{
 		slog.String("circuit", c.Name), slog.Int("checks", batchSize(c, req, checks)),
